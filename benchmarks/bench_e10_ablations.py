@@ -1,0 +1,16 @@
+"""E10 bench — design-constant ablations."""
+
+from conftest import run_and_print
+
+from repro import dec_offline
+
+
+def test_e10_table(benchmark):
+    run_and_print("E10", benchmark)
+
+
+def test_e10_ablated_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(
+        lambda: dec_offline(dec_workload_200, dec3_ladder, budget_factor=4.0)
+    )
+    assert schedule.cost() > 0

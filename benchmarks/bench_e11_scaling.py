@@ -1,0 +1,38 @@
+"""E11 bench — runtime scaling; benchmarks each kernel at n=1000."""
+
+from conftest import run_and_print
+
+from repro import (
+    DecOnlineScheduler,
+    dec_offline,
+    lower_bound,
+    poisson_workload,
+    run_online,
+)
+
+
+def test_e11_table(benchmark):
+    run_and_print("E11", benchmark)
+
+
+def _jobs1000(bench_rng, ladder):
+    return poisson_workload(1000, bench_rng, max_size=ladder.capacity(3))
+
+
+def test_e11_offline_1000_jobs(benchmark, bench_rng, dec3_ladder):
+    jobs = _jobs1000(bench_rng, dec3_ladder)
+    benchmark.pedantic(dec_offline, args=(jobs, dec3_ladder), rounds=3, iterations=1)
+
+
+def test_e11_online_1000_jobs(benchmark, bench_rng, dec3_ladder):
+    jobs = _jobs1000(bench_rng, dec3_ladder)
+    benchmark.pedantic(
+        lambda: run_online(jobs, DecOnlineScheduler(dec3_ladder)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e11_lower_bound_1000_jobs(benchmark, bench_rng, dec3_ladder):
+    jobs = _jobs1000(bench_rng, dec3_ladder)
+    benchmark.pedantic(lower_bound, args=(jobs, dec3_ladder), rounds=3, iterations=1)

@@ -1,0 +1,15 @@
+"""E12 bench — Section II normalization overhead."""
+
+from conftest import run_and_print
+
+from repro import ec2_like_ladder, normalize
+
+
+def test_e12_table(benchmark):
+    run_and_print("E12", benchmark)
+
+
+def test_e12_normalize_kernel(benchmark):
+    ladder = ec2_like_ladder(8, price_exponent=0.9)
+    norm = benchmark(normalize, ladder)
+    assert norm.normalized.is_power_of_two_rates()

@@ -1,0 +1,16 @@
+"""E13 bench — value of clairvoyance (extension experiment)."""
+
+from conftest import run_and_print
+
+from repro.online.clairvoyant import DurationClassScheduler, run_clairvoyant
+
+
+def test_e13_table(benchmark):
+    run_and_print("E13", benchmark)
+
+
+def test_e13_clairvoyant_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(
+        lambda: run_clairvoyant(dec_workload_200, DurationClassScheduler(dec3_ladder))
+    )
+    assert schedule.cost() > 0

@@ -1,0 +1,23 @@
+"""E14 bench — uniform-size special case (extension experiment)."""
+
+import numpy as np
+from conftest import run_and_print
+
+from repro import Job, JobSet, single_type_ladder
+from repro.offline.uniform import uniform_track_schedule
+
+
+def test_e14_table(benchmark):
+    run_and_print("E14", benchmark)
+
+
+def test_e14_track_packing_kernel(benchmark, bench_rng):
+    arrivals = bench_rng.uniform(0, 100, size=500)
+    durations = bench_rng.uniform(1, 8, size=500)
+    jobs = JobSet(
+        Job(1.0, float(a), float(a + d))
+        for a, d in zip(arrivals, durations)
+    )
+    ladder = single_type_ladder(capacity=4.0)
+    schedule = benchmark(uniform_track_schedule, jobs, ladder, 4)
+    assert schedule.cost() > 0

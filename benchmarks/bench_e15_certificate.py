@@ -1,0 +1,21 @@
+"""E15 bench — Theorem-2 certificate machinery (extension experiment)."""
+
+from conftest import run_and_print
+
+from repro import DecOnlineScheduler, run_online
+from repro.analysis.certificates import certify_dec_online
+
+
+def test_e15_table(benchmark):
+    run_and_print("E15", benchmark)
+
+
+def test_e15_certificate_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = run_online(dec_workload_200, DecOnlineScheduler(dec3_ladder))
+    cert = benchmark.pedantic(
+        certify_dec_online,
+        args=(dec_workload_200, dec3_ladder, schedule),
+        rounds=3,
+        iterations=1,
+    )
+    assert cert.lemma1_holds

@@ -1,0 +1,16 @@
+"""E16 bench — executing the [11] lower-bound adversary."""
+
+from conftest import run_and_print
+
+from repro import DecOnlineScheduler, dec_ladder
+from repro.jobs.generators.adversary import batch_trap
+
+
+def test_e16_table(benchmark):
+    run_and_print("E16", benchmark)
+
+
+def test_e16_adversary_kernel(benchmark):
+    ladder = dec_ladder(3)
+    jobs = benchmark(lambda: batch_trap(DecOnlineScheduler, ladder, mu=16.0))
+    assert jobs.mu == 16.0

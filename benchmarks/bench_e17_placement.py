@@ -1,0 +1,14 @@
+"""E17 bench — placement-order ablation."""
+
+from conftest import run_and_print
+
+from repro import place_jobs
+
+
+def test_e17_table(benchmark):
+    run_and_print("E17", benchmark)
+
+
+def test_e17_size_order_kernel(benchmark, dec_workload_200):
+    placement = benchmark(place_jobs, dec_workload_200, "size")
+    assert placement.max_overlap() <= 2

@@ -1,0 +1,22 @@
+"""E18 bench — randomized hard-instance search."""
+
+from conftest import run_and_print
+
+from repro import dec_ladder, dec_offline
+from repro.analysis.hardness import search_hard_instance
+
+
+def test_e18_table(benchmark):
+    run_and_print("E18", benchmark)
+
+
+def test_e18_search_kernel(benchmark):
+    ladder = dec_ladder(3)
+    found = benchmark.pedantic(
+        lambda: search_hard_instance(
+            dec_offline, ladder, seed=1, n_jobs=15, random_rounds=5, mutate_rounds=5
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert found.ratio >= 1.0

@@ -1,0 +1,17 @@
+"""E19 bench — windowed semi-online scheduling."""
+
+from conftest import run_and_print
+
+from repro import dec_offline
+from repro.online.windowed import windowed_schedule
+
+
+def test_e19_table(benchmark):
+    run_and_print("E19", benchmark)
+
+
+def test_e19_windowed_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(
+        lambda: windowed_schedule(dec_workload_200, dec3_ladder, dec_offline, window=10.0)
+    )
+    assert schedule.cost() > 0

@@ -1,0 +1,17 @@
+"""E1 bench — Theorem 1: DEC-OFFLINE 14-approximation.
+
+Prints the E1 ratio table and benchmarks the DEC-OFFLINE kernel.
+"""
+
+from conftest import run_and_print
+
+from repro import dec_offline
+
+
+def test_e1_table(benchmark):
+    run_and_print("E1", benchmark)
+
+
+def test_e1_dec_offline_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(dec_offline, dec_workload_200, dec3_ladder)
+    assert schedule.cost() > 0

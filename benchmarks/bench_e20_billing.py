@@ -1,0 +1,17 @@
+"""E20 bench — billing-granularity re-pricing."""
+
+from conftest import run_and_print
+
+from repro import dec_offline
+from repro.schedule.billing import BillingModel, billed_cost
+
+
+def test_e20_table(benchmark):
+    run_and_print("E20", benchmark)
+
+
+def test_e20_billing_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = dec_offline(dec_workload_200, dec3_ladder)
+    model = BillingModel(period=1.0, minimum=0.5)
+    cost = benchmark(billed_cost, schedule, model)
+    assert cost >= schedule.cost()

@@ -1,0 +1,7 @@
+"""E21 bench — crossover analysis between type-aware and big-box strategies."""
+
+from conftest import run_and_print
+
+
+def test_e21_table(benchmark):
+    run_and_print("E21", benchmark)

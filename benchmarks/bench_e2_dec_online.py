@@ -1,0 +1,19 @@
+"""E2 bench — Theorem 2: DEC-ONLINE 32(mu+1)-competitiveness.
+
+Prints the E2 mu-sweep table and benchmarks the online event loop.
+"""
+
+from conftest import run_and_print
+
+from repro import DecOnlineScheduler, run_online
+
+
+def test_e2_table(benchmark):
+    run_and_print("E2", benchmark)
+
+
+def test_e2_dec_online_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(
+        lambda: run_online(dec_workload_200, DecOnlineScheduler(dec3_ladder))
+    )
+    assert schedule.cost() > 0

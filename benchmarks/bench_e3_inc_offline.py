@@ -1,0 +1,14 @@
+"""E3 bench — Section IV: INC-OFFLINE 9-approximation."""
+
+from conftest import run_and_print
+
+from repro import inc_offline
+
+
+def test_e3_table(benchmark):
+    run_and_print("E3", benchmark)
+
+
+def test_e3_inc_offline_kernel(benchmark, inc_workload_200, inc3_ladder):
+    schedule = benchmark(inc_offline, inc_workload_200, inc3_ladder)
+    assert schedule.cost() > 0

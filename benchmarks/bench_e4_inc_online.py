@@ -1,0 +1,16 @@
+"""E4 bench — Section IV: INC-ONLINE (9/4 mu + 27/4)-competitiveness."""
+
+from conftest import run_and_print
+
+from repro import IncOnlineScheduler, run_online
+
+
+def test_e4_table(benchmark):
+    run_and_print("E4", benchmark)
+
+
+def test_e4_inc_online_kernel(benchmark, inc_workload_200, inc3_ladder):
+    schedule = benchmark(
+        lambda: run_online(inc_workload_200, IncOnlineScheduler(inc3_ladder))
+    )
+    assert schedule.cost() > 0

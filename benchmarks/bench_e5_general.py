@@ -1,0 +1,15 @@
+"""E5 bench — Section V: general-case sqrt(m) shape."""
+
+from conftest import run_and_print
+
+from repro import general_offline, uniform_workload
+
+
+def test_e5_table(benchmark):
+    run_and_print("E5", benchmark)
+
+
+def test_e5_general_offline_kernel(benchmark, bench_rng, fig2_ladder):
+    jobs = uniform_workload(200, bench_rng, max_size=fig2_ladder.capacity(8))
+    schedule = benchmark(general_offline, jobs, fig2_ladder)
+    assert schedule.cost() > 0

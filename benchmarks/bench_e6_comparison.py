@@ -1,0 +1,16 @@
+"""E6 bench — head-to-head comparison table (algorithms vs baselines)."""
+
+from conftest import run_and_print
+
+from repro import CheapestFitGreedy, run_online
+
+
+def test_e6_table(benchmark):
+    run_and_print("E6", benchmark)
+
+
+def test_e6_baseline_kernel(benchmark, dec_workload_200, dec3_ladder):
+    schedule = benchmark(
+        lambda: run_online(dec_workload_200, CheapestFitGreedy(dec3_ladder))
+    )
+    assert schedule.cost() > 0

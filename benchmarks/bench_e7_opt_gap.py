@@ -1,0 +1,18 @@
+"""E7 bench — LB tightness and true ratios via the MILP oracle."""
+
+from conftest import run_and_print
+
+from repro import dec_ladder, solve_optimal, uniform_workload
+
+
+def test_e7_table(benchmark):
+    run_and_print("E7", benchmark)
+
+
+def test_e7_milp_kernel(benchmark, bench_rng):
+    ladder = dec_ladder(3)
+    jobs = uniform_workload(6, bench_rng, max_size=ladder.capacity(3))
+    result = benchmark.pedantic(
+        solve_optimal, args=(jobs, ladder), rounds=3, iterations=1
+    )
+    assert result.cost > 0

@@ -1,0 +1,16 @@
+"""E8 bench — Figure 1 regeneration (demand-chart placement)."""
+
+from conftest import run_and_print
+
+from repro import place_jobs
+from repro.experiments.e08_fig1 import fig1_jobs
+
+
+def test_e8_figure(benchmark):
+    run_and_print("E8", benchmark)
+
+
+def test_e8_placement_kernel(benchmark):
+    jobs = fig1_jobs()
+    placement = benchmark(place_jobs, jobs)
+    assert placement.max_overlap() <= 2

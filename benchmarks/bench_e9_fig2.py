@@ -1,0 +1,12 @@
+"""E9 bench — Figure 2 regeneration (machine-type forest)."""
+
+from conftest import run_and_print
+
+
+def test_e9_figure(benchmark):
+    run_and_print("E9", benchmark)
+
+
+def test_e9_forest_kernel(benchmark, fig2_ladder):
+    forest = benchmark(lambda: fig2_ladder.forest())
+    assert len(forest.roots) == 3

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures.
+
+Each bench module pairs an experiment (quick scale, table printed to stdout,
+PASS asserted) with a pytest-benchmark measurement of the kernel that
+experiment exercises.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s     # -s to see the tables
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import dec_ladder, inc_ladder, paper_fig2_ladder, uniform_workload
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2020)
+
+
+@pytest.fixture(scope="session")
+def dec3_ladder():
+    return dec_ladder(3)
+
+
+@pytest.fixture(scope="session")
+def inc3_ladder():
+    return inc_ladder(3)
+
+
+@pytest.fixture(scope="session")
+def fig2_ladder():
+    return paper_fig2_ladder()
+
+
+@pytest.fixture(scope="session")
+def dec_workload_200(bench_rng, dec3_ladder):
+    return uniform_workload(200, bench_rng, max_size=dec3_ladder.capacity(3))
+
+
+@pytest.fixture(scope="session")
+def inc_workload_200(bench_rng, inc3_ladder):
+    return uniform_workload(200, bench_rng, max_size=inc3_ladder.capacity(3))
+
+
+def run_and_print(experiment_id: str, benchmark=None) -> None:
+    """Run an experiment at quick scale, print its table, assert it passed.
+
+    When a pytest-benchmark fixture is passed, the experiment run itself is
+    the benchmarked payload (one round), so the tables also appear under
+    ``--benchmark-only``.
+    """
+    from repro.experiments import run_experiment
+
+    if benchmark is not None:
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), kwargs={"scale": "quick"},
+            rounds=1, iterations=1,
+        )
+    else:
+        result = run_experiment(experiment_id, scale="quick")
+    print()
+    print(result.render())
+    assert result.passed, f"{experiment_id} bound violated"

@@ -1,0 +1,66 @@
+"""Adversarial analysis: when does the online algorithm actually hurt?
+
+Theorem 2 guarantees DEC-ONLINE is 32(mu+1)-competitive and the paper notes
+this is asymptotically tight (no deterministic non-clairvoyant algorithm
+beats mu).  This example makes both halves concrete:
+
+1. runs the [11] adaptive adversary against DEC-ONLINE and shows the ratio
+   *growing* with mu (the lower-bound shape),
+2. runs the Theorem-2 certificate machinery on the adversarial runs,
+   printing the whole inequality chain
+   cost <= 8 * sum len(I'_{i,j}) r_i <= 32(mu+1) * LB,
+3. shows the escape hatch: a clairvoyant scheduler on the same instances
+   keeps a flat ratio.
+
+Run: ``python examples/adversarial_analysis.py``
+"""
+
+from repro import (
+    DecOnlineScheduler,
+    DurationClassScheduler,
+    assert_feasible,
+    certify_dec_online,
+    dec_ladder,
+    lower_bound,
+    run_clairvoyant,
+    run_online,
+)
+from repro.analysis.tables import render_table
+from repro.jobs.generators.adversary import batch_trap
+
+ladder = dec_ladder(3)
+print(f"ladder: {ladder}\n")
+
+rows = []
+for mu in (2.0, 4.0, 8.0, 16.0, 32.0, 64.0):
+    jobs = batch_trap(DecOnlineScheduler, ladder, mu=mu)
+    lb = lower_bound(jobs, ladder)
+    online = run_online(jobs, DecOnlineScheduler(ladder))
+    clair = run_clairvoyant(jobs, DurationClassScheduler(ladder))
+    assert_feasible(online, jobs)
+    assert_feasible(clair, jobs)
+    cert = certify_dec_online(jobs, ladder, online, lb=lb)
+    rows.append(
+        {
+            "mu": mu,
+            "jobs": len(jobs),
+            "non-clairvoyant": round(online.cost() / lb.value, 3),
+            "clairvoyant": round(clair.cost() / lb.value, 3),
+            "certified bound/LB": round(cert.certified_ratio, 1),
+            "32(mu+1)": round(32 * (mu + 1), 0),
+            "certified": cert.certified,
+        }
+    )
+
+print(render_table(rows, title="The [11] adversary: ratio vs mu"))
+print("""
+reading the table:
+- the non-clairvoyant column GROWS with mu: the adversary keeps one small
+  job alive on every machine DEC-ONLINE opened, and the algorithm cannot
+  consolidate them (jobs are pinned to their machines);
+- the clairvoyant column stays flat: knowing departures up front, the
+  duration-classified scheduler isolates the long survivors from the start;
+- the certificate column is the bound produced by *executing Theorem 2's
+  proof* on each run (build M(t), take interval families, check Lemma 3) —
+  always above the measured cost and below the worst-case 32(mu+1) line.
+""")

@@ -1,0 +1,77 @@
+"""Non-clairvoyant autoscaling: scheduling a live job stream.
+
+Simulates the online half of the paper: jobs arrive one by one, must be
+placed immediately, and nobody knows when they will leave.  Shows
+
+1. the DEC-ONLINE Group-A/Group-B mechanics in action (budgeted pools per
+   machine type, overflow to larger types),
+2. the machine count per type over time,
+3. the μ-sensitivity of the competitive ratio (Theorem 2's shape): the same
+   arrival pattern with more spread-out durations costs relatively more.
+
+Run: ``python examples/online_autoscaler.py``
+"""
+
+import numpy as np
+
+from repro import (
+    DecOnlineScheduler,
+    assert_feasible,
+    bounded_mu_workload,
+    dec_ladder,
+    lower_bound,
+    run_online,
+)
+from repro.analysis.metrics import busy_machine_profile
+from repro.analysis.tables import render_table
+from repro.viz.ascii_chart import render_profile
+
+ladder = dec_ladder(3)  # capacities 1, 3, 9; rates 1, 2, 4
+print(f"ladder: {ladder}\n")
+
+# --- one detailed run ---------------------------------------------------------
+rng = np.random.default_rng(11)
+jobs = bounded_mu_workload(120, rng, mu=4.0, max_size=ladder.capacity(3))
+scheduler = DecOnlineScheduler(ladder)
+schedule = run_online(jobs, scheduler)
+assert_feasible(schedule, jobs)
+lb = lower_bound(jobs, ladder).value
+
+print(f"stream of {len(jobs)} jobs (mu={jobs.mu:.2f}) scheduled online")
+print(f"cost {schedule.cost():.2f} vs lower bound {lb:.2f} -> ratio {schedule.cost()/lb:.3f}")
+print(f"theorem 2 guarantee: <= 32*(mu+1) = {32 * (jobs.mu + 1):.0f}\n")
+
+print("final (group, type) pools that were opened:")
+for (group, i), count in sorted(scheduler.busy_counts().items()):
+    pool = scheduler.group_a[i] if group == "A" else scheduler.group_b[i]
+    opened = len(pool.machines)
+    if opened:
+        print(
+            f"  group {group}, type {i}: {opened} machines ever opened "
+            f"(budget {'unbounded' if pool.budget is None else pool.budget})"
+        )
+
+print("\nbusy type-3 machines over time:")
+print(render_profile(busy_machine_profile(schedule, type_index=3), width=68, height=8))
+
+# --- mu sweep -------------------------------------------------------------------
+print("\ncompetitive-ratio shape vs mu (same arrival pattern, wider durations):")
+rows = []
+for mu in (1.0, 2.0, 4.0, 8.0, 16.0):
+    rng = np.random.default_rng(42)
+    stream = bounded_mu_workload(150, rng, mu=mu, max_size=ladder.capacity(3))
+    sched = run_online(stream, DecOnlineScheduler(ladder))
+    assert_feasible(sched, stream)
+    stream_lb = lower_bound(stream, ladder).value
+    rows.append(
+        {
+            "mu": stream.mu,
+            "cost": round(sched.cost(), 1),
+            "LB": round(stream_lb, 1),
+            "ratio": round(sched.cost() / stream_lb, 3),
+            "bound 32(mu+1)": round(32 * (stream.mu + 1), 0),
+        }
+    )
+print(render_table(rows))
+print("measured ratios grow much slower than the worst-case line — the bound")
+print("is adversarial, the workload is not.")

@@ -1,0 +1,58 @@
+"""Quickstart: schedule interval jobs on heterogeneous machines.
+
+Covers the core public API in ~40 lines:
+
+1. describe jobs (size, arrival, departure) and a machine ladder,
+2. run the paper's offline approximation algorithm,
+3. run the non-clairvoyant online algorithm on the same instance,
+4. compare both against the Eq.-(1) lower bound.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    DecOnlineScheduler,
+    Job,
+    JobSet,
+    Ladder,
+    assert_feasible,
+    dec_offline,
+    lower_bound,
+    run_online,
+)
+
+# --- 1. the instance -------------------------------------------------------
+# Three machine types: capacities 1, 4, 16; busy-cost rates 1, 2, 4 per hour.
+# Amortized cost per unit shrinks with size -> this is BSHM-DEC territory.
+ladder = Ladder.from_pairs([(1.0, 1.0), (4.0, 2.0), (16.0, 4.0)])
+print(f"machine ladder: {ladder}  (regime: {ladder.regime.value})")
+
+jobs = JobSet(
+    [
+        Job(size=0.5, arrival=0.0, departure=6.0, name="web-1"),
+        Job(size=0.5, arrival=1.0, departure=7.0, name="web-2"),
+        Job(size=3.0, arrival=2.0, departure=5.0, name="batch"),
+        Job(size=0.8, arrival=3.0, departure=9.0, name="cache"),
+        Job(size=6.0, arrival=4.0, departure=8.0, name="training"),
+        Job(size=0.4, arrival=7.5, departure=12.0, name="cron"),
+    ]
+)
+print(f"instance: {len(jobs)} jobs, peak demand {jobs.peak_demand():g}, mu={jobs.mu:.2f}")
+
+# --- 2. offline scheduling (all jobs known in advance) ----------------------
+offline = dec_offline(jobs, ladder)
+assert_feasible(offline, jobs)  # machine-checked capacity/coverage
+print(f"\nDEC-OFFLINE cost: {offline.cost():.2f}")
+for job, machine in sorted(offline.assignment.items(), key=lambda kv: kv[0].arrival):
+    print(f"  {job.name:10s} size={job.size:<4g} -> {machine}")
+
+# --- 3. online scheduling (jobs revealed at arrival, departures unknown) ----
+online = run_online(jobs, DecOnlineScheduler(ladder))
+assert_feasible(online, jobs)
+print(f"\nDEC-ONLINE cost:  {online.cost():.2f}")
+
+# --- 4. quality vs the lower bound ------------------------------------------
+lb = lower_bound(jobs, ladder).value
+print(f"\nlower bound on OPT: {lb:.2f}")
+print(f"offline ratio <= {offline.cost() / lb:.3f}   (Theorem 1 guarantees <= 14)")
+print(f"online  ratio <= {online.cost() / lb:.3f}   (Theorem 2 guarantees <= 32(mu+1))")

@@ -1,0 +1,218 @@
+"""Executable Theorem-2 proof machinery: competitive-ratio certificates.
+
+The proof of Theorem 2 is constructive; this module implements each object
+it builds so the argument can be *checked on actual runs*:
+
+1. ``reference_configuration`` — the machine family ``M(t)`` built from the
+   parameters ``p_1(t)`` (type forced by the largest active job) and
+   ``p_2(t)`` (type suggested by the total active size).  Lemma 1: its cost
+   rate is at most ``4 * sum_i w*(i, t) r_i``.
+2. ``interval_families`` — ``I_{i,j}``: the times when ``M(t)`` contains at
+   least ``j`` type-``i`` machines, and their extensions
+   ``I'_{i,j} = U [I^-, I^+ + mu * len(I))``.
+3. ``certify_dec_online`` — for a DEC-ONLINE run, groups machines into the
+   paper's ``M_{i,j}`` (indices ``4j-3..4j`` in both groups) and checks
+   Lemma 3: every job on an ``M_{i,j}`` machine has its active interval
+   inside ``I'_{i,j}``.  When the check passes, the run's cost is certified
+   to be at most ``8 * sum_{i,j} len(I'_{i,j}) * r_i <= 32 (mu+1) OPT``.
+
+The certificate is a *sufficient* bound — it can fail to certify (Lemma 3's
+hypothesis needs the exact Group-A/B discipline) without the ratio actually
+being violated; the E13-style tests measure how often it certifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.intervals import IntervalSet
+from ..core.stepfun import StepFunction
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..lowerbound.bound import LowerBoundResult, lower_bound
+from ..schedule.schedule import Schedule
+
+__all__ = [
+    "ReferenceConfiguration",
+    "reference_configuration",
+    "interval_families",
+    "CertificateResult",
+    "certify_dec_online",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceConfiguration:
+    """``M(t)`` as per-type machine-count step functions plus its cost rate."""
+
+    ladder: Ladder
+    counts: tuple[StepFunction, ...]  # counts[i-1] = type-i machines in M(t)
+    cost_rate: StepFunction
+
+    def count_at(self, i: int, t: float) -> int:
+        return int(round(float(self.counts[i - 1](t))))
+
+
+def _p1(ladder: Ladder, sizes: list[float]) -> int:
+    """Type forced by the largest active job: ``s_max in (g_{i-1}, g_i]``."""
+    s_max = max(sizes)
+    for i in range(1, ladder.m + 1):
+        if s_max <= ladder.capacity(i) * (1 + 1e-12):
+            return i
+    raise ValueError("active job exceeds largest capacity")
+
+
+def _p2(ladder: Ladder, total: float) -> int:
+    """Type suggested by the total size (the paper's threshold sequence).
+
+    ``p_2(t) = m`` when ``s(J,t) > (r_m/r_{m-1} - 1) g_{m-1}``; otherwise the
+    type ``i`` with ``s(J,t) in ((r_i/r_{i-1} - 1) g_{i-1}, (r_{i+1}/r_i - 1) g_i]``
+    (with ``g_0 = 0``, so the sequence starts at 0 and is increasing for
+    normal-form DEC ladders).
+    """
+    m = ladder.m
+    if m == 1:
+        return 1
+    thresholds = []
+    for i in range(1, m):
+        thresholds.append((ladder.rate(i + 1) / ladder.rate(i) - 1.0) * ladder.capacity(i))
+    # thresholds[i-1] = upper limit of the p2 = i region
+    for i in range(1, m):
+        if total <= thresholds[i - 1] * (1 + 1e-12):
+            return i
+    return m
+
+
+def _m_counts(ladder: Ladder, p1: int, p2: int, total: float) -> list[int]:
+    """Machine counts of ``M(t)`` for one instant."""
+    counts = [0] * ladder.m
+    if p1 > p2:
+        for i in range(1, p1):
+            counts[i - 1] = int(round(ladder.rate(i + 1) / ladder.rate(i))) - 1
+        counts[p1 - 1] = 1
+    else:
+        for i in range(1, p2):
+            counts[i - 1] = int(round(ladder.rate(i + 1) / ladder.rate(i))) - 1
+        counts[p2 - 1] = max(1, math.ceil(total / ladder.capacity(p2) - 1e-12))
+    return counts
+
+
+def reference_configuration(jobs: JobSet, ladder: Ladder) -> ReferenceConfiguration:
+    """Build ``M(t)`` over the whole timeline (normal-form DEC ladders)."""
+    segments = jobs.segments()
+    per_type_segments: list[list[tuple[float, float, float]]] = [
+        [] for _ in range(ladder.m)
+    ]
+    rate_segments: list[tuple[float, float, float]] = []
+    for seg in segments:
+        mid = (seg.left + seg.right) / 2.0
+        sizes = [j.size for j in jobs if j.active_at(mid)]
+        if not sizes:
+            continue
+        counts = _m_counts(ladder, _p1(ladder, sizes), _p2(ladder, sum(sizes)), sum(sizes))
+        for i, w in enumerate(counts):
+            if w:
+                per_type_segments[i].append((seg.left, seg.right, float(w)))
+        rate = sum(w * ladder.rate(i + 1) for i, w in enumerate(counts))
+        rate_segments.append((seg.left, seg.right, rate))
+    counts_fns = tuple(
+        StepFunction.from_segments(segs) if segs else StepFunction.zero()
+        for segs in per_type_segments
+    )
+    rate_fn = (
+        StepFunction.from_segments(rate_segments)
+        if rate_segments
+        else StepFunction.zero()
+    )
+    return ReferenceConfiguration(ladder=ladder, counts=counts_fns, cost_rate=rate_fn)
+
+
+def interval_families(
+    config: ReferenceConfiguration, mu: float
+) -> dict[tuple[int, int], tuple[IntervalSet, IntervalSet]]:
+    """``(I_{i,j}, I'_{i,j})`` for every type ``i`` and level ``j >= 1``."""
+    out: dict[tuple[int, int], tuple[IntervalSet, IntervalSet]] = {}
+    for i in range(1, config.ladder.m + 1):
+        profile = config.counts[i - 1]
+        level = 1
+        while True:
+            base = profile.superlevel(float(level))
+            if base.empty:
+                break
+            out[(i, level)] = (base, base.extend_members_right(mu))
+            level += 1
+    return out
+
+
+@dataclass(slots=True)
+class CertificateResult:
+    """Outcome of running the Theorem-2 certificate on a schedule."""
+
+    certified: bool
+    lemma1_holds: bool
+    lemma1_worst_factor: float  # max over segments of rate(M)/rate(w*)
+    lemma3_violations: list  # (job, machine_key, (i, j))
+    certified_bound: float  # 8 * sum len(I'_{i,j}) r_i  (valid iff certified)
+    actual_cost: float
+    lower_bound: float
+
+    @property
+    def certified_ratio(self) -> float:
+        return self.certified_bound / self.lower_bound if self.lower_bound > 0 else float("inf")
+
+
+def certify_dec_online(
+    jobs: JobSet,
+    ladder: Ladder,
+    schedule: Schedule,
+    *,
+    lb: LowerBoundResult | None = None,
+) -> CertificateResult:
+    """Run the full Theorem-2 argument against an actual DEC-ONLINE run.
+
+    The schedule's machine keys must carry the DEC-ONLINE tag shape
+    ``(group, index)`` with group in {"A", "B"}.
+    """
+    lb_result = lb if lb is not None else lower_bound(jobs, ladder)
+    config = reference_configuration(jobs, ladder)
+
+    # Lemma 1: rate(M(t)) <= 4 * optimal configuration rate, at every segment
+    lemma1_worst = 0.0
+    for seg, opt_rate in zip(lb_result.segments, lb_result.rates):
+        mid = (seg.left + seg.right) / 2.0
+        m_rate = float(config.cost_rate(mid))
+        if opt_rate > 0:
+            lemma1_worst = max(lemma1_worst, m_rate / opt_rate)
+    lemma1_holds = lemma1_worst <= 4.0 + 1e-9
+
+    mu = jobs.mu
+    families = interval_families(config, mu)
+
+    # Lemma 3: each job on machine slot (i, j) has I(J) inside I'_{i,j};
+    # machine index within its group maps to j = ceil(index / 4)
+    violations = []
+    for job, key in schedule.assignment.items():
+        group, index = key.tag[0], key.tag[1]
+        if group not in ("A", "B"):
+            raise ValueError("schedule does not carry DEC-ONLINE machine tags")
+        i = key.type_index
+        j = (int(index) + 3) // 4
+        family = families.get((i, j))
+        covered = family is not None and family[1].covers(job.interval)
+        if not covered:
+            violations.append((job, key, (i, j)))
+
+    certified_bound = 8.0 * sum(
+        prime.length * ladder.rate(i) for (i, _j), (_base, prime) in families.items()
+    )
+    certified = lemma1_holds and not violations
+    return CertificateResult(
+        certified=certified,
+        lemma1_holds=lemma1_holds,
+        lemma1_worst_factor=lemma1_worst,
+        lemma3_violations=violations,
+        certified_bound=certified_bound,
+        actual_cost=schedule.cost(),
+        lower_bound=lb_result.value,
+    )

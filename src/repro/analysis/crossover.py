@@ -1,0 +1,102 @@
+"""Crossover analysis: where does one strategy overtake another?
+
+The E6 tables show *who wins* at fixed load; this module finds *where the
+lead changes* as a workload parameter sweeps.  :func:`find_crossover` scans
+a monotone parameter (e.g. arrival intensity), evaluates two schedulers at
+each point, and brackets the crossing of their cost curves; E21 uses it to
+locate the load level at which "just rent big boxes" overtakes the
+type-aware algorithms on DEC ladders — the quantitative version of the
+paper's motivation that heterogeneity matters at *low* utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..schedule.schedule import Schedule
+from ..schedule.validate import assert_feasible
+
+__all__ = ["CrossoverResult", "find_crossover"]
+
+SchedulerFn = Callable[[JobSet, Ladder], Schedule]
+InstanceFn = Callable[[float, np.random.Generator], JobSet]
+
+
+@dataclass(frozen=True, slots=True)
+class CrossoverResult:
+    """Outcome of a crossover scan between schedulers A and B."""
+
+    parameter_values: tuple[float, ...]
+    cost_a: tuple[float, ...]
+    cost_b: tuple[float, ...]
+    #: parameter values bracketing each sign change of (cost_a - cost_b);
+    #: empty when one scheduler dominates throughout
+    crossings: tuple[tuple[float, float], ...]
+
+    def winner_at(self, idx: int) -> str:
+        """Which scheduler was cheaper at sweep index ``idx``."""
+        return "A" if self.cost_a[idx] <= self.cost_b[idx] else "B"
+
+    def rows(self, name_a: str = "A", name_b: str = "B") -> list[dict]:
+        """Dict rows for table rendering, one per sweep point."""
+        out = []
+        for value, ca, cb in zip(self.parameter_values, self.cost_a, self.cost_b):
+            out.append(
+                {
+                    "parameter": value,
+                    name_a: round(ca, 2),
+                    name_b: round(cb, 2),
+                    "winner": name_a if ca <= cb else name_b,
+                    "margin": round(abs(ca - cb) / min(ca, cb), 4),
+                }
+            )
+        return out
+
+
+def find_crossover(
+    scheduler_a: SchedulerFn,
+    scheduler_b: SchedulerFn,
+    make_instance: InstanceFn,
+    ladder: Ladder,
+    parameter_values: list[float],
+    *,
+    seeds: int = 3,
+    base_seed: int = 7,
+    check: bool = True,
+) -> CrossoverResult:
+    """Evaluate both schedulers along the sweep (seed-averaged costs) and
+    report the parameter intervals where the cheaper one changes."""
+    values = sorted(parameter_values)
+    cost_a: list[float] = []
+    cost_b: list[float] = []
+    for value in values:
+        totals = [0.0, 0.0]
+        for s in range(seeds):
+            rng = np.random.default_rng(base_seed + 104729 * s)
+            jobs = make_instance(value, rng)
+            for slot, fn in enumerate((scheduler_a, scheduler_b)):
+                sched = fn(jobs, ladder)
+                if check:
+                    assert_feasible(sched, jobs)
+                totals[slot] += sched.cost()
+        cost_a.append(totals[0] / seeds)
+        cost_b.append(totals[1] / seeds)
+
+    crossings = []
+    diffs = [a - b for a, b in zip(cost_a, cost_b)]
+    for k in range(len(values) - 1):
+        if diffs[k] == 0:
+            continue
+        if diffs[k] * diffs[k + 1] < 0:
+            crossings.append((values[k], values[k + 1]))
+    return CrossoverResult(
+        parameter_values=tuple(values),
+        cost_a=tuple(cost_a),
+        cost_b=tuple(cost_b),
+        crossings=tuple(crossings),
+    )

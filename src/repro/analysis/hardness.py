@@ -1,0 +1,130 @@
+"""Hard-instance search: empirically probing the approximation ratios.
+
+The paper proves worst-case bounds (14, 9, 32(μ+1), …) but gives no
+lower-bound instances for the *offline* algorithms, and only conjectures the
+general-case O(√m).  This module mounts a randomized search for instances
+maximizing ``cost(ALG) / LB``:
+
+1. sample a batch of random instances from a configurable generator space
+   (n, size law, duration law, burstiness),
+2. keep the instance with the worst ratio,
+3. *mutate* it (perturb sizes/intervals, duplicate the worst-overlap jobs)
+   for several rounds of local search.
+
+The result quantifies how far the measured constants can be pushed — E18
+reports the hardest instances found per algorithm within a fixed search
+budget.  (A ratio approaching the proven bound would be remarkable; in
+practice the search plateaus early, which is itself evidence that the
+paper's constants are loose for non-adversarial inputs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..jobs.job import Job
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..lowerbound.bound import lower_bound
+from ..schedule.validate import assert_feasible
+
+__all__ = ["HardInstance", "search_hard_instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class HardInstance:
+    """The worst instance found and its measured ratio."""
+
+    jobs: JobSet
+    ratio: float
+    generation: int  # search round that produced it
+
+
+def _random_instance(rng: np.random.Generator, n: int, gmax: float) -> JobSet:
+    """One random instance from a deliberately spiky generator space."""
+    style = rng.integers(0, 3)
+    if style == 0:  # uniform chaos
+        arrivals = rng.uniform(0, 30, size=n)
+        durations = rng.uniform(0.2, 15, size=n)
+        sizes = rng.uniform(0.02, 1.0, size=n) * gmax
+    elif style == 1:  # big-small mix (stresses type choice)
+        arrivals = rng.uniform(0, 30, size=n)
+        durations = rng.choice([0.5, 10.0], size=n, p=[0.7, 0.3]) * rng.uniform(
+            0.8, 1.2, size=n
+        )
+        sizes = rng.choice([0.05, 0.55, 1.0], size=n) * gmax * rng.uniform(
+            0.9, 1.0, size=n
+        )
+    else:  # staircase-ish
+        arrivals = np.sort(rng.uniform(0, 10, size=n))
+        durations = np.linspace(1, 20, n) * rng.uniform(0.8, 1.2, size=n)
+        sizes = rng.uniform(0.1, 0.6, size=n) * gmax
+    return JobSet(
+        Job(float(s), float(a), float(a + d))
+        for s, a, d in zip(sizes, arrivals, durations)
+    )
+
+
+def _mutate(jobs: JobSet, rng: np.random.Generator, gmax: float) -> JobSet:
+    """Local perturbation: jitter some jobs, occasionally clone one."""
+    out = []
+    job_list = list(jobs)
+    for job in job_list:
+        if rng.random() < 0.3:
+            size = float(np.clip(job.size * rng.uniform(0.7, 1.4), 0.01, gmax))
+            arrival = max(0.0, job.arrival + rng.normal(0, 1.0))
+            duration = max(0.1, job.duration * rng.uniform(0.6, 1.6))
+            out.append(Job(size, arrival, arrival + duration))
+        else:
+            out.append(Job(job.size, job.arrival, job.departure))
+    if rng.random() < 0.5 and job_list:
+        donor = job_list[int(rng.integers(0, len(job_list)))]
+        out.append(
+            Job(
+                donor.size,
+                max(0.0, donor.arrival + rng.normal(0, 0.5)),
+                donor.departure + rng.uniform(0, 2),
+            )
+        )
+    return JobSet(out)
+
+
+def search_hard_instance(
+    algorithm: Callable[[JobSet, Ladder], object],
+    ladder: Ladder,
+    *,
+    seed: int = 0,
+    n_jobs: int = 30,
+    random_rounds: int = 30,
+    mutate_rounds: int = 30,
+    check: bool = True,
+) -> HardInstance:
+    """Randomized + local search for an instance maximizing cost/LB."""
+    rng = np.random.default_rng(seed)
+    gmax = ladder.capacity(ladder.m)
+
+    def ratio_of(jobs: JobSet) -> float:
+        lb = lower_bound(jobs, ladder).value
+        if lb <= 0:
+            return 0.0
+        sched = algorithm(jobs, ladder)
+        if check:
+            assert_feasible(sched, jobs)
+        return sched.cost() / lb
+
+    best = HardInstance(jobs=_random_instance(rng, n_jobs, gmax), ratio=0.0, generation=-1)
+    best = HardInstance(best.jobs, ratio_of(best.jobs), -1)
+    for round_idx in range(random_rounds):
+        cand = _random_instance(rng, n_jobs, gmax)
+        r = ratio_of(cand)
+        if r > best.ratio:
+            best = HardInstance(cand, r, round_idx)
+    for round_idx in range(mutate_rounds):
+        cand = _mutate(best.jobs, rng, gmax)
+        r = ratio_of(cand)
+        if r > best.ratio:
+            best = HardInstance(cand, r, random_rounds + round_idx)
+    return best

@@ -1,0 +1,76 @@
+"""Schedule metrics beyond raw cost.
+
+Utilities the experiment tables and the gantt/ascii visualizations share:
+
+- machine-count time series per type (how many machines of each type are
+  busy at every instant),
+- utilization (useful volume / paid capacity-time),
+- cost decomposition per machine type,
+- concurrency peaks (for checking the online budgets empirically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stepfun import StepFunction, sum_pulses
+from ..jobs.jobset import JobSet
+from ..schedule.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "busy_machine_profile", "compute_metrics"]
+
+
+def busy_machine_profile(schedule: Schedule, type_index: int | None = None) -> StepFunction:
+    """Number of busy machines over time (optionally one type only)."""
+    pulses = []
+    groups = schedule.by_machine()
+    for key, jobs in groups.items():
+        if type_index is not None and key.type_index != type_index:
+            continue
+        for iv in JobSet(jobs).busy_span():
+            pulses.append((iv.left, iv.right, 1.0))
+    if not pulses:
+        return StepFunction.zero()
+    return sum_pulses(pulses)
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleMetrics:
+    """Aggregate quality measures of one schedule."""
+
+    cost: float
+    machines: int
+    cost_by_type: dict[int, float]
+    machines_by_type: dict[int, int]
+    peak_busy_by_type: dict[int, int]
+    utilization: float  # job volume / paid capacity-time
+
+    def row(self) -> dict:
+        return {
+            "cost": round(self.cost, 3),
+            "machines": self.machines,
+            "utilization": round(self.utilization, 4),
+            **{f"cost_T{i}": round(c, 2) for i, c in self.cost_by_type.items() if c > 0},
+        }
+
+
+def compute_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """All metrics in one pass over the schedule."""
+    groups = schedule.by_machine()
+    paid_capacity_time = 0.0
+    for key, jobs in groups.items():
+        busy = JobSet(jobs).busy_span().length
+        paid_capacity_time += busy * schedule.ladder.capacity(key.type_index)
+    volume = schedule.jobs.total_volume()
+    peak_busy = {}
+    for i in range(1, schedule.ladder.m + 1):
+        profile = busy_machine_profile(schedule, i)
+        peak_busy[i] = int(round(profile.max()))
+    return ScheduleMetrics(
+        cost=schedule.cost(),
+        machines=len(groups),
+        cost_by_type=schedule.cost_by_type(),
+        machines_by_type=schedule.machine_count_by_type(),
+        peak_busy_by_type=peak_busy,
+        utilization=volume / paid_capacity_time if paid_capacity_time > 0 else 0.0,
+    )

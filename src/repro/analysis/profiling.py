@@ -1,0 +1,83 @@
+"""Lightweight instrumentation: timers and counters ("no optimization
+without measuring" — the hpc-parallel guide).
+
+:class:`Profiler` is a process-local registry of named counters and
+accumulated wall-clock timers with a context-manager interface::
+
+    prof = Profiler()
+    with prof.timer("placement"):
+        place_jobs(jobs)
+    prof.count("conflict-pairs", 42)
+    print(prof.table())
+
+The experiment harness attaches one per run; algorithms stay uninstrumented
+by default (zero overhead), but hot paths accept an optional profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Profiler"]
+
+
+@dataclass(slots=True)
+class _Timer:
+    total: float = 0.0
+    calls: int = 0
+
+
+@dataclass(slots=True)
+class Profiler:
+    """Named counters + accumulated timers."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, _Timer] = field(default_factory=dict)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to a named counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating wall-clock time under ``name``."""
+        rec = self.timers.setdefault(name, _Timer())
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            rec.total += time.perf_counter() - start
+            rec.calls += 1
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's counters and timers into this one."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, rec in other.timers.items():
+            mine = self.timers.setdefault(name, _Timer())
+            mine.total += rec.total
+            mine.calls += rec.calls
+
+    def reset(self) -> None:
+        """Clear all counters and timers."""
+        self.counters.clear()
+        self.timers.clear()
+
+    def table(self) -> str:
+        """Human-readable dump, timers sorted by total time."""
+        lines = []
+        if self.timers:
+            lines.append("timers:")
+            for name, rec in sorted(self.timers.items(), key=lambda kv: -kv[1].total):
+                mean = rec.total / rec.calls if rec.calls else 0.0
+                lines.append(
+                    f"  {name:30s} total={rec.total:9.4f}s calls={rec.calls:6d} "
+                    f"mean={mean * 1e3:9.3f}ms"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:30s} {value:g}")
+        return "\n".join(lines) if lines else "(empty profiler)"

@@ -1,0 +1,123 @@
+"""Empirical ratio computation against the Eq.-(1) lower bound.
+
+The central quantity of every experiment: ``cost(ALG) / LB`` per instance.
+Since ``LB <= OPT``, the measured ratio upper-bounds the true approximation
+ratio on that instance, so a measured ratio below the paper's bound is
+consistent with (and evidence for) the theorem.
+
+:func:`evaluate` runs one algorithm on one instance, validates feasibility,
+and returns an :class:`AlgorithmRun`; :func:`evaluate_suite` sweeps an
+algorithm matrix over a workload matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..lowerbound.bound import lower_bound
+from ..schedule.schedule import Schedule
+from ..schedule.validate import assert_feasible
+
+__all__ = ["AlgorithmRun", "evaluate", "evaluate_suite", "theoretical_bounds"]
+
+SchedulerFn = Callable[[JobSet, Ladder], Schedule]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmRun:
+    """One (algorithm, instance) measurement."""
+
+    algorithm: str
+    workload: str
+    n_jobs: int
+    mu: float
+    cost: float
+    lower_bound: float
+    ratio: float
+    machines: int
+    runtime_s: float
+
+    def row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "n": self.n_jobs,
+            "mu": round(self.mu, 3),
+            "cost": round(self.cost, 3),
+            "LB": round(self.lower_bound, 3),
+            "ratio": round(self.ratio, 4),
+            "machines": self.machines,
+            "sec": round(self.runtime_s, 4),
+        }
+
+
+def evaluate(
+    name: str,
+    fn: SchedulerFn,
+    jobs: JobSet,
+    ladder: Ladder,
+    *,
+    workload: str = "?",
+    lb_value: float | None = None,
+    check: bool = True,
+) -> AlgorithmRun:
+    """Run, validate and measure one algorithm on one instance."""
+    start = time.perf_counter()
+    schedule = fn(jobs, ladder)
+    elapsed = time.perf_counter() - start
+    if check:
+        assert_feasible(schedule, jobs)
+    lb = lb_value if lb_value is not None else lower_bound(jobs, ladder).value
+    cost = schedule.cost()
+    return AlgorithmRun(
+        algorithm=name,
+        workload=workload,
+        n_jobs=len(jobs),
+        mu=jobs.mu,
+        cost=cost,
+        lower_bound=lb,
+        ratio=cost / lb if lb > 0 else float("inf"),
+        machines=len(schedule.machines()),
+        runtime_s=elapsed,
+    )
+
+
+def evaluate_suite(
+    algorithms: dict[str, SchedulerFn],
+    instances: dict[str, tuple[JobSet, Ladder]],
+    *,
+    check: bool = True,
+) -> list[AlgorithmRun]:
+    """Cross product of algorithms × instances, sharing one LB per instance."""
+    runs: list[AlgorithmRun] = []
+    for wname, (jobs, ladder) in instances.items():
+        lb = lower_bound(jobs, ladder).value
+        for aname, fn in algorithms.items():
+            runs.append(
+                evaluate(
+                    aname, fn, jobs, ladder, workload=wname, lb_value=lb, check=check
+                )
+            )
+    return runs
+
+
+def theoretical_bounds(mu: float, m: int) -> dict[str, float]:
+    """The paper's proven (or conjectured) ratio for each algorithm.
+
+    Conjectured Section-V bounds are reported with a generous constant 14
+    (the paper gives only the asymptotic order).
+    """
+    import math
+
+    return {
+        "DEC-OFFLINE": 14.0,
+        "DEC-ONLINE": 32.0 * (mu + 1.0),
+        "INC-OFFLINE": 9.0,
+        "INC-ONLINE": 2.25 * mu + 6.75,
+        "GEN-OFFLINE": 14.0 * math.sqrt(m),
+        "GEN-ONLINE": 32.0 * math.sqrt(m) * (mu + 1.0),
+    }

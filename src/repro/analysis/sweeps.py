@@ -1,0 +1,104 @@
+"""Parameter-sweep utilities with seed replication.
+
+Experiments that report a trend (ratio vs mu, vs m, vs n) should average
+over several seeds and report dispersion; this module centralizes that:
+
+    sweep = Sweep(parameter="mu", values=[1, 2, 4, 8], seeds=5)
+    rows = sweep.run(make_instance, algorithms)
+
+Each row carries mean/min/max ratio per (parameter value, algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..lowerbound.bound import lower_bound
+from ..schedule.validate import assert_feasible
+
+__all__ = ["Sweep", "SweepRow"]
+
+InstanceMaker = Callable[[object, np.random.Generator], tuple[JobSet, Ladder]]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRow:
+    """Aggregated result for one (parameter value, algorithm) cell."""
+
+    parameter: str
+    value: object
+    algorithm: str
+    mean_ratio: float
+    min_ratio: float
+    max_ratio: float
+    mean_cost: float
+    seeds: int
+
+    def row(self) -> dict:
+        """Dict form for table rendering."""
+        return {
+            self.parameter: self.value,
+            "algorithm": self.algorithm,
+            "ratio(mean)": round(self.mean_ratio, 4),
+            "ratio(min)": round(self.min_ratio, 4),
+            "ratio(max)": round(self.max_ratio, 4),
+            "cost(mean)": round(self.mean_cost, 2),
+            "seeds": self.seeds,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Sweep:
+    """A one-dimensional parameter sweep with seed replication."""
+
+    parameter: str
+    values: tuple
+    seeds: int = 3
+    base_seed: int = 1234
+
+    def run(
+        self,
+        make_instance: InstanceMaker,
+        algorithms: dict[str, Callable[[JobSet, Ladder], object]],
+        *,
+        check: bool = True,
+    ) -> list[SweepRow]:
+        """``make_instance(value, rng) -> (jobs, ladder)``; algorithms map a
+        name to ``fn(jobs, ladder) -> Schedule``."""
+        rows: list[SweepRow] = []
+        for value in self.values:
+            per_algo: dict[str, list[tuple[float, float]]] = {
+                name: [] for name in algorithms
+            }
+            for s in range(self.seeds):
+                rng = np.random.default_rng(self.base_seed + 7919 * s)
+                jobs, ladder = make_instance(value, rng)
+                lb = lower_bound(jobs, ladder).value
+                for name, fn in algorithms.items():
+                    sched = fn(jobs, ladder)
+                    if check:
+                        assert_feasible(sched, jobs)
+                    cost = sched.cost()
+                    ratio = cost / lb if lb > 0 else float("inf")
+                    per_algo[name].append((ratio, cost))
+            for name, samples in per_algo.items():
+                ratios = [r for r, _ in samples]
+                costs = [c for _, c in samples]
+                rows.append(
+                    SweepRow(
+                        parameter=self.parameter,
+                        value=value,
+                        algorithm=name,
+                        mean_ratio=float(np.mean(ratios)),
+                        min_ratio=float(np.min(ratios)),
+                        max_ratio=float(np.max(ratios)),
+                        mean_cost=float(np.mean(costs)),
+                        seeds=self.seeds,
+                    )
+                )
+        return rows

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment output.
+
+No third-party table dependency: fixed-width columns inferred from content,
+CSV export for downstream plotting.  Every experiment runner funnels its
+rows through :func:`render_table` so EXPERIMENTS.md and the bench output
+share formatting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "to_csv"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[k]) for r in rendered)) for k, c in enumerate(cols)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rendered:
+        out.write("  ".join(v.ljust(w) for v, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def to_csv(rows: Iterable[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """CSV export (no quoting needs expected in our numeric tables)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(",".join(_fmt(row.get(c, "")) for c in cols))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""Strawman baselines a practitioner would try first.
+
+All are online-capable (non-clairvoyant) and are run through the same
+engine as the paper's algorithms:
+
+- :class:`OneJobPerMachine` — every job gets a dedicated machine of the
+  cheapest type that fits it.  Cost = Σ duration × rate(fitting type).
+- :class:`LargestTypeFirstFit` — First-Fit packing, but only on the largest
+  machine type (the "just rent big boxes" strategy).
+- :class:`CheapestFitGreedy` — First-Fit over *all* currently open machines
+  (any type, opening order); when nothing fits, opens a machine of the type
+  with the cheapest rate among those fitting the job.
+
+These calibrate the benchmark tables: the paper's algorithms should beat
+them whenever the ladder/workload interaction is non-trivial.
+"""
+
+from __future__ import annotations
+
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..machines.machine import OnlineMachine
+from ..schedule.schedule import MachineKey
+from ..online.engine import JobView
+
+__all__ = ["OneJobPerMachine", "LargestTypeFirstFit", "CheapestFitGreedy"]
+
+
+class OneJobPerMachine:
+    """Dedicated cheapest-fitting machine per job."""
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self._counter = 0
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """Open a dedicated machine of the cheapest fitting type."""
+        candidates = [t for t in self.ladder.types if t.fits(job.size)]
+        best = min(candidates, key=lambda t: t.rate)
+        self._counter += 1
+        return MachineKey(best.index, ("solo", self._counter))
+
+    def on_departure(self, uid: int) -> None:  # nothing to release
+
+        """Nothing to release (machines are per-job)."""
+        return None
+
+
+class LargestTypeFirstFit:
+    """First-Fit restricted to the largest type."""
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self.state = FleetState()
+        self.pool = IndexedPool("big", ladder.m, ladder.capacity(ladder.m), budget=None)
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """First-Fit among the largest-type pool."""
+        machine = self.pool.first_fit(job.uid, job.size)
+        assert machine is not None
+        return self.state.record(job.uid, machine)
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)
+
+
+class CheapestFitGreedy:
+    """First-Fit over every open machine; open cheapest fitting type on miss."""
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self.state = FleetState()
+        self.open_machines: list[OnlineMachine] = []
+        self._counter = 0
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """First-Fit over every open machine; open the cheapest fitting type on miss."""
+        for machine in self.open_machines:
+            if machine.fits(job.size):
+                machine.admit(job.uid, job.size)
+                return self.state.record(job.uid, machine)
+        candidates = [t for t in self.ladder.types if t.fits(job.size)]
+        best = min(candidates, key=lambda t: t.rate)
+        self._counter += 1
+        machine = OnlineMachine(
+            MachineKey(best.index, ("greedy", self._counter)), best.capacity
+        )
+        self.open_machines.append(machine)
+        machine.admit(job.uid, job.size)
+        return self.state.record(job.uid, machine)
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)

@@ -1,0 +1,276 @@
+"""Command-line entry point: ``bshm``.
+
+Subcommands::
+
+    bshm list                     # list experiments
+    bshm run E1 [--scale quick]   # run one experiment, print its table
+    bshm all [--scale quick]      # run every experiment
+    bshm demo                     # 30-second tour: ladder, schedule, figure
+    bshm schedule trace.csv --ladder ladder.csv [--algorithm auto]
+                                  # schedule a CSV job trace, print the bill,
+                                  # optionally write the assignment CSV
+    bshm generate --workload day-night --n 200 --out trace.csv
+                                  # synthesize a workload (and/or a ladder)
+    bshm recommend trace.csv --ladder ladder.csv [--max-types 3]
+                                  # which catalogue subset should be enabled?
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS, run_experiment
+
+
+def _cmd_list() -> int:
+    for eid, module in ALL_EXPERIMENTS.items():
+        print(f"{eid:4s} {module.TITLE}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, scale: str) -> int:
+    result = run_experiment(experiment_id, scale=scale)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def _cmd_all(scale: str, save: str | None = None) -> int:
+    if save:
+        from .experiments.persist import save_all
+
+        outcomes = save_all(save, scale=scale)
+        for eid, passed in outcomes.items():
+            print(f"{eid:4s} {'PASS' if passed else 'FAIL'}")
+        print(f"artifacts saved under {save}/")
+        return 0 if all(outcomes.values()) else 1
+    status = 0
+    for eid in ALL_EXPERIMENTS:
+        result = run_experiment(eid, scale=scale)
+        print(result.render())
+        print()
+        if not result.passed:
+            status = 1
+    return status
+
+
+def _cmd_demo() -> int:
+    import numpy as np
+
+    from .jobs.generators.workloads import day_night_workload
+    from .lowerbound.bound import lower_bound
+    from .machines.catalog import dec_ladder
+    from .offline.dec_offline import dec_offline
+    from .online.dec_online import DecOnlineScheduler
+    from .online.engine import run_online
+    from .placement.greedy import place_jobs
+    from .viz.ascii_chart import render_placement
+    from .viz.gantt import render_gantt
+
+    ladder = dec_ladder(3)
+    jobs = day_night_workload(60, np.random.default_rng(0), max_size=ladder.capacity(3))
+    lb = lower_bound(jobs, ladder).value
+    offline = dec_offline(jobs, ladder)
+    online = run_online(jobs, DecOnlineScheduler(ladder))
+    print(f"ladder: {ladder}")
+    print(f"instance: {len(jobs)} jobs, mu={jobs.mu:.2f}, lower bound {lb:.2f}")
+    print(f"DEC-OFFLINE cost {offline.cost():.2f}  (ratio {offline.cost() / lb:.3f})")
+    print(f"DEC-ONLINE  cost {online.cost():.2f}  (ratio {online.cost() / lb:.3f})")
+    print("\ndemand chart with placed jobs (Fig. 1 style):")
+    print(render_placement(place_jobs(jobs), width=72, height=14))
+    print("\nmachine gantt (offline schedule, first machines):")
+    print(render_gantt(offline, max_machines=12))
+    return 0
+
+
+def _cmd_schedule(
+    trace: str,
+    ladder_path: str,
+    algorithm: str,
+    output: str | None,
+    report: str | None = None,
+) -> int:
+    from .jobs.io import read_jobs_csv, read_ladder_csv, write_schedule_csv
+    from .lowerbound.bound import lower_bound
+    from .machines.ladder import Regime
+    from .offline.dec_offline import dec_offline
+    from .offline.general_offline import general_offline
+    from .offline.inc_offline import inc_offline
+    from .online.dec_online import DecOnlineScheduler
+    from .online.engine import run_online
+    from .online.general_online import GeneralOnlineScheduler
+    from .online.inc_online import IncOnlineScheduler
+    from .schedule.validate import assert_feasible
+
+    jobs = read_jobs_csv(trace)
+    ladder = read_ladder_csv(ladder_path)
+    from .jobs.lint import lint_instance
+
+    for warning in lint_instance(jobs, ladder):
+        print(f"warning: {warning}")
+    regime = ladder.regime
+    if algorithm == "auto":
+        algorithm = {
+            Regime.DEC: "dec-offline",
+            Regime.INC: "inc-offline",
+            Regime.GENERAL: "gen-offline",
+        }[regime]
+    runners = {
+        "dec-offline": lambda: dec_offline(jobs, ladder),
+        "inc-offline": lambda: inc_offline(jobs, ladder),
+        "gen-offline": lambda: general_offline(jobs, ladder),
+        "dec-online": lambda: run_online(jobs, DecOnlineScheduler(ladder)),
+        "inc-online": lambda: run_online(jobs, IncOnlineScheduler(ladder)),
+        "gen-online": lambda: run_online(jobs, GeneralOnlineScheduler(ladder)),
+    }
+    if algorithm not in runners:
+        print(f"unknown algorithm {algorithm!r}; choose from {sorted(runners)}")
+        return 2
+    schedule = runners[algorithm]()
+    assert_feasible(schedule, jobs)
+    lb = lower_bound(jobs, ladder).value
+    print(f"instance: {len(jobs)} jobs, ladder regime {regime.value}, mu={jobs.mu:.2f}")
+    print(f"algorithm: {algorithm}")
+    print(f"cost: {schedule.cost():.4f}  (lower bound {lb:.4f}, ratio {schedule.cost()/max(lb,1e-12):.4f})")
+    print(f"machines used: {len(schedule.machines())}")
+    for i, cost in schedule.cost_by_type().items():
+        if cost > 0:
+            print(f"  type {i} (g={ladder.capacity(i):g}): {cost:.4f}")
+    if output:
+        write_schedule_csv(schedule, output)
+        print(f"assignment written to {output}")
+    if report:
+        from .analysis.report import schedule_report
+
+        from pathlib import Path
+
+        Path(report).write_text(
+            schedule_report(schedule, jobs, algorithm=algorithm)
+        )
+        print(f"report written to {report}")
+    return 0
+
+
+def _cmd_generate(
+    workload: str, n: int, seed: int, out: str, ladder_kind: str | None, ladder_out: str | None, m: int
+) -> int:
+    import numpy as np
+
+    from .jobs.generators import workloads as w
+    from .jobs.generators.advanced import flash_crowd_workload, mmpp_workload
+    from .jobs.io import write_jobs_csv, write_ladder_csv
+    from .machines import catalog
+
+    ladder = None
+    if ladder_kind:
+        makers = {
+            "dec": lambda: catalog.dec_ladder(m),
+            "inc": lambda: catalog.inc_ladder(m),
+            "ec2": lambda: catalog.ec2_like_ladder(m),
+            "fig2": catalog.paper_fig2_ladder,
+        }
+        if ladder_kind not in makers:
+            print(f"unknown ladder kind {ladder_kind!r}; choose from {sorted(makers)}")
+            return 2
+        ladder = makers[ladder_kind]()
+        if ladder_out:
+            write_ladder_csv(ladder, ladder_out)
+            print(f"ladder ({ladder_kind}, m={ladder.m}) written to {ladder_out}")
+    gmax = ladder.capacity(ladder.m) if ladder is not None else 1.0
+    rng = np.random.default_rng(seed)
+    generators = {
+        "uniform": lambda: w.uniform_workload(n, rng, max_size=gmax),
+        "poisson": lambda: w.poisson_workload(n, rng, max_size=gmax),
+        "day-night": lambda: w.day_night_workload(n, rng, max_size=gmax),
+        "bursty": lambda: w.bursty_workload(n, rng, max_size=gmax),
+        "mmpp": lambda: mmpp_workload(n, rng, max_size=gmax),
+        "flash-crowd": lambda: flash_crowd_workload(n, rng, max_size=gmax),
+    }
+    if workload not in generators:
+        print(f"unknown workload {workload!r}; choose from {sorted(generators)}")
+        return 2
+    jobs = generators[workload]()
+    write_jobs_csv(jobs, out)
+    print(f"{len(jobs)} {workload} jobs (seed {seed}, max size {gmax:g}) written to {out}")
+    return 0
+
+
+def _cmd_recommend(trace: str, ladder_path: str, max_types: int | None, estimate: str) -> int:
+    from .jobs.io import read_jobs_csv, read_ladder_csv
+    from .machines.recommend import recommend_subset
+
+    jobs = read_jobs_csv(trace)
+    catalogue = read_ladder_csv(ladder_path)
+    rec = recommend_subset(jobs, catalogue, estimate=estimate, max_types=max_types)
+    print(f"instance: {len(jobs)} jobs; catalogue: {catalogue.m} types; estimate: {estimate}")
+    print(f"recommended types: {list(rec.enabled_indices)}  (cost {rec.cost:.4f})")
+    print("top 5 subsets:")
+    for combo, cost in rec.ranking[:5]:
+        caps = [f"{catalogue.capacity(i):g}" for i in combo]
+        print(f"  types {list(combo)} (capacities {', '.join(caps)}): {cost:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bshm",
+        description="Busy-time scheduling on heterogeneous machines (IPDPS 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id, e.g. E1")
+    run_p.add_argument("--scale", choices=("quick", "full"), default="full")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--scale", choices=("quick", "full"), default="full")
+    all_p.add_argument("--save", help="persist artifacts under this directory")
+    sub.add_parser("demo", help="30-second guided demo")
+    sched_p = sub.add_parser("schedule", help="schedule a CSV job trace")
+    sched_p.add_argument("trace", help="job trace CSV (size,arrival,departure[,name])")
+    sched_p.add_argument("--ladder", required=True, help="ladder CSV (capacity,rate)")
+    sched_p.add_argument(
+        "--algorithm",
+        default="auto",
+        help="auto | dec-offline | inc-offline | gen-offline | dec-online | inc-online | gen-online",
+    )
+    sched_p.add_argument("--output", help="write the assignment CSV here")
+    sched_p.add_argument("--report", help="write a markdown report here")
+    gen_p = sub.add_parser("generate", help="synthesize a workload / ladder")
+    gen_p.add_argument("--workload", default="uniform")
+    gen_p.add_argument("--n", type=int, default=100)
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.add_argument("--out", required=True, help="job trace CSV to write")
+    gen_p.add_argument("--ladder", dest="ladder_kind", help="dec | inc | ec2 | fig2")
+    gen_p.add_argument("--ladder-out", help="ladder CSV to write")
+    gen_p.add_argument("--m", type=int, default=3, help="ladder size")
+    rec_p = sub.add_parser("recommend", help="rank catalogue type subsets")
+    rec_p.add_argument("trace", help="job trace CSV")
+    rec_p.add_argument("--ladder", required=True, help="catalogue CSV")
+    rec_p.add_argument("--max-types", type=int, default=None)
+    rec_p.add_argument("--estimate", choices=("lower_bound", "schedule"), default="lower_bound")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale)
+    if args.command == "all":
+        return _cmd_all(args.scale, args.save)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "schedule":
+        return _cmd_schedule(
+            args.trace, args.ladder, args.algorithm, args.output, args.report
+        )
+    if args.command == "generate":
+        return _cmd_generate(
+            args.workload, args.n, args.seed, args.out,
+            args.ladder_kind, args.ladder_out, args.m,
+        )
+    if args.command == "recommend":
+        return _cmd_recommend(args.trace, args.ladder, args.max_types, args.estimate)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Sweep-line event machinery shared by schedulers and analyzers.
+
+Everything time-varying in BSHM (demand, machine busy states, costs) changes
+only at job arrivals and departures.  This module turns a set of jobs into
+
+- a sorted stream of :class:`Event` records (arrival before departure at equal
+  times, so a job departing exactly when another arrives does not overlap it
+  under half-open semantics), and
+- the list of *elementary segments*: maximal spans between consecutive event
+  times, on which every quantity of interest is constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .intervals import Interval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..jobs.job import Job
+
+__all__ = ["EventKind", "Event", "event_stream", "elementary_segments"]
+
+
+class EventKind(enum.IntEnum):
+    """Departure sorts before arrival at the same instant: half-open
+    intervals mean a job with ``I^+ == t`` is *not* active at ``t``, so its
+    capacity must be released before a job with ``I^- == t`` is placed."""
+
+    DEPART = 0
+    ARRIVE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single arrival or departure."""
+
+    time: float
+    kind: EventKind
+    job: "Job"
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, int(self.kind), self.job.uid)
+
+
+def event_stream(jobs: Iterable["Job"]) -> list[Event]:
+    """All arrivals and departures in processing order.
+
+    Ties at one instant are ordered DEPART < ARRIVE (capacity released before
+    reuse), then by job uid for determinism.
+    """
+    events: list[Event] = []
+    for job in jobs:
+        events.append(Event(job.arrival, EventKind.ARRIVE, job))
+        events.append(Event(job.departure, EventKind.DEPART, job))
+    events.sort(key=lambda e: e.sort_key)
+    return events
+
+
+def elementary_segments(jobs: Sequence["Job"]) -> list[Interval]:
+    """Maximal intervals between consecutive event times.
+
+    Every job-derived quantity (demand, active set, optimal configuration) is
+    constant on each returned segment; integrating segment-by-segment is
+    therefore exact.  Segments where no job is active are omitted.
+    """
+    if not jobs:
+        return []
+    import numpy as np
+
+    arrivals = np.sort(np.array([j.arrival for j in jobs], dtype=float))
+    departures = np.sort(np.array([j.departure for j in jobs], dtype=float))
+    times = np.unique(np.concatenate([arrivals, departures]))
+    lefts, rights = times[:-1], times[1:]
+    # active count on segment (l, r): arrivals <= l minus departures <= l
+    started = np.searchsorted(arrivals, lefts, side="right")
+    ended = np.searchsorted(departures, lefts, side="right")
+    active = started - ended
+    return [
+        Interval(float(l), float(r))
+        for l, r, count in zip(lefts, rights, active)
+        if count > 0
+    ]

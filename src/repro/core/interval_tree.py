@@ -1,0 +1,100 @@
+"""A static interval tree (augmented, array-backed) for stabbing and overlap
+queries.
+
+Built once over a set of half-open intervals, it answers
+
+- ``stab(t)`` — all intervals containing ``t`` — in O(log n + k), and
+- ``overlapping(lo, hi)`` — all intervals intersecting ``[lo, hi)`` — in
+  O(log n + k),
+
+which accelerates coexistence queries in large placements and analyses
+(the naive scan is O(n)).  The tree is a balanced BST over interval left
+endpoints with subtree-max-right augmentation, stored in arrays for cache
+friendliness (per the hpc-parallel guide: simple, measurable, no pointer
+chasing).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["StaticIntervalTree"]
+
+
+class StaticIntervalTree:
+    """Immutable interval tree over ``(left, right, payload_index)`` rows."""
+
+    __slots__ = ("lefts", "rights", "order", "max_right")
+
+    def __init__(self, lefts: Sequence[float], rights: Sequence[float]) -> None:
+        lefts_arr = np.asarray(lefts, dtype=float)
+        rights_arr = np.asarray(rights, dtype=float)
+        if lefts_arr.shape != rights_arr.shape or lefts_arr.ndim != 1:
+            raise ValueError("lefts and rights must be equal-length 1-D arrays")
+        if np.any(lefts_arr >= rights_arr):
+            raise ValueError("intervals must be non-empty half-open [l, r)")
+        order = np.argsort(lefts_arr, kind="stable")
+        self.lefts = lefts_arr[order]
+        self.rights = rights_arr[order]
+        self.order = order  # original indices, aligned with sorted arrays
+        self.max_right = self._build_max_right()
+
+    def _build_max_right(self) -> np.ndarray:
+        """``max_right[i]`` = max right endpoint over the implicit BST subtree
+        rooted at sorted position ``i`` (midpoint recursion)."""
+        n = self.lefts.size
+        out = np.empty(n, dtype=float)
+
+        def build(lo: int, hi: int) -> float:
+            if lo >= hi:
+                return -np.inf
+            mid = (lo + hi) // 2
+            best = max(
+                float(self.rights[mid]), build(lo, mid), build(mid + 1, hi)
+            )
+            out[mid] = best
+            return best
+
+        import sys
+
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old, 2 * int(np.log2(n + 2)) + 50))
+        try:
+            build(0, n)
+        finally:
+            sys.setrecursionlimit(old)
+        return out
+
+    def __len__(self) -> int:
+        return int(self.lefts.size)
+
+    # -- queries ------------------------------------------------------------
+    def stab(self, t: float) -> list[int]:
+        """Original indices of intervals with ``left <= t < right``."""
+        return self.overlapping(t, np.nextafter(t, np.inf))
+
+    def overlapping(self, lo: float, hi: float) -> list[int]:
+        """Original indices of intervals intersecting ``[lo, hi)``."""
+        if hi <= lo:
+            return []
+        out: list[int] = []
+        n = len(self)
+        stack = [(0, n)]
+        while stack:
+            a, b = stack.pop()
+            if a >= b:
+                continue
+            mid = (a + b) // 2
+            if self.max_right[mid] <= lo:
+                continue  # nothing in this subtree ends after lo
+            # left subtree can always contain hits (its lefts are smaller)
+            stack.append((a, mid))
+            left = float(self.lefts[mid])
+            right = float(self.rights[mid])
+            if left < hi and lo < right:
+                out.append(int(self.order[mid]))
+            if left < hi:  # right subtree only if its lefts can be < hi
+                stack.append((mid + 1, b))
+        return out

@@ -1,0 +1,255 @@
+"""Half-open time intervals and disjoint interval sets.
+
+The paper (Section II) works with half-open intervals ``I = [I^-, I^+)``.
+This module provides the two primitives every other subsystem builds on:
+
+- :class:`Interval` — an immutable half-open interval with endpoint access
+  matching the paper's ``I^-`` / ``I^+`` notation.
+- :class:`IntervalSet` — a normalized union of pairwise-disjoint intervals,
+  supporting union, intersection, containment and total length ``len(I)``.
+
+All endpoints are floats; degenerate (empty) intervals are rejected at
+construction except through :meth:`Interval.maybe`, which returns ``None``
+for an empty span.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Interval", "IntervalSet", "union_length"]
+
+
+class Interval:
+    """A half-open interval ``[left, right)`` with ``left < right``.
+
+    Mirrors the paper's notation: ``I.minus`` is ``I^-`` (left endpoint),
+    ``I.plus`` is ``I^+`` (right endpoint) and ``I.length`` is ``len(I)``.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: float, right: float) -> None:
+        left = float(left)
+        right = float(right)
+        if not (left < right):
+            raise ValueError(f"empty or inverted interval [{left}, {right})")
+        if not (math.isfinite(left) and math.isfinite(right)):
+            raise ValueError(f"non-finite interval endpoints [{left}, {right})")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Interval is immutable")
+
+    @staticmethod
+    def maybe(left: float, right: float) -> "Interval | None":
+        """Return ``Interval(left, right)`` or ``None`` when the span is empty."""
+        if left < right:
+            return Interval(left, right)
+        return None
+
+    # -- paper notation -------------------------------------------------
+    @property
+    def minus(self) -> float:
+        """Left endpoint ``I^-``."""
+        return self.left
+
+    @property
+    def plus(self) -> float:
+        """Right endpoint ``I^+``."""
+        return self.right
+
+    @property
+    def length(self) -> float:
+        """``len(I) = I^+ - I^-``."""
+        return self.right - self.left
+
+    # -- relations ------------------------------------------------------
+    def contains(self, t: float) -> bool:
+        """Whether time point ``t`` lies in ``[left, right)``."""
+        return self.left <= t < self.right
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two half-open intervals share at least one point."""
+        return self.left < other.right and other.left < self.right
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection as an Interval, or ``None`` if disjoint."""
+        return Interval.maybe(max(self.left, other.left), min(self.right, other.right))
+
+    def covers(self, other: "Interval") -> bool:
+        """Whether ``other`` is fully contained in this interval."""
+        return self.left <= other.left and other.right <= self.right
+
+    def shift(self, delta: float) -> "Interval":
+        """Interval translated by ``delta``."""
+        return Interval(self.left + delta, self.right + delta)
+
+    def extend_right(self, amount: float) -> "Interval":
+        """Interval with the right endpoint pushed out by ``amount >= 0``."""
+        if amount < 0:
+            raise ValueError("extend_right expects a non-negative amount")
+        return Interval(self.left, self.right + amount)
+
+    # -- dunder ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.right))
+
+    def __lt__(self, other: "Interval") -> bool:
+        return (self.left, self.right) < (other.left, other.right)
+
+    def __repr__(self) -> str:
+        return f"Interval({self.left!r}, {self.right!r})"
+
+
+class IntervalSet:
+    """A normalized finite union of pairwise-disjoint half-open intervals.
+
+    Construction merges touching/overlapping members, so two IntervalSets
+    covering the same point set compare equal.  Used for the paper's
+    ``\\mathcal{I}_{i,j}`` interval families and for busy-period accounting.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        object.__setattr__(self, "_ivs", _normalize(intervals))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IntervalSet is immutable")
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[float, float]]) -> "IntervalSet":
+        """Build from ``(left, right)`` pairs, silently dropping empty spans."""
+        ivs = []
+        for left, right in pairs:
+            iv = Interval.maybe(left, right)
+            if iv is not None:
+                ivs.append(iv)
+        return IntervalSet(ivs)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The disjoint members, sorted by left endpoint."""
+        return self._ivs
+
+    @property
+    def length(self) -> float:
+        """Total measure ``len(IntervalSet)`` (sum of member lengths)."""
+        return sum(iv.length for iv in self._ivs)
+
+    @property
+    def empty(self) -> bool:
+        return not self._ivs
+
+    def contains(self, t: float) -> bool:
+        """Membership test for a single time point (binary search)."""
+        ivs = self._ivs
+        lo, hi = 0, len(ivs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ivs[mid].right <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(ivs) and ivs[lo].contains(t)
+
+    def covers(self, iv: Interval) -> bool:
+        """Whether a whole interval is contained in the set."""
+        for member in self._ivs:
+            if member.covers(iv):
+                return True
+            if member.left > iv.left:
+                break
+        return False
+
+    def member_containing(self, t: float) -> Interval | None:
+        """The contiguous member interval containing ``t``, if any."""
+        for member in self._ivs:
+            if member.contains(t):
+                return member
+            if member.left > t:
+                return None
+        return None
+
+    # -- algebra ----------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Point-set union (re-normalized)."""
+        return IntervalSet(self._ivs + other._ivs)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """Point-set intersection via a linear merge of sorted members."""
+        out: list[Interval] = []
+        i = j = 0
+        a, b = self._ivs, other._ivs
+        while i < len(a) and j < len(b):
+            iv = a[i].intersect(b[j])
+            if iv is not None:
+                out.append(iv)
+            if a[i].right <= b[j].right:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def extend_members_right(self, factor: float) -> "IntervalSet":
+        """Paper's ``I'`` construction: extend each contiguous member ``I`` to
+        ``[I^-, I^+ + factor * len(I))`` (Theorem 2 proof), then re-normalize.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return IntervalSet(
+            iv.extend_right(factor * iv.length) for iv in self._ivs
+        )
+
+    # -- dunder -------------------------------------------------------------
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(self._ivs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{iv.left:g},{iv.right:g})" for iv in self._ivs)
+        return f"IntervalSet({inner})"
+
+
+def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort and merge overlapping/touching intervals into disjoint form."""
+    ivs = sorted(intervals, key=lambda iv: (iv.left, iv.right))
+    if not ivs:
+        return ()
+    merged: list[Interval] = [ivs[0]]
+    for iv in ivs[1:]:
+        last = merged[-1]
+        if iv.left <= last.right:  # touching counts as mergeable
+            if iv.right > last.right:
+                merged[-1] = Interval(last.left, iv.right)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+def union_length(intervals: Sequence[Interval]) -> float:
+    """Measure of the union of (possibly overlapping) intervals.
+
+    Convenience wrapper used for busy-time accounting:
+    ``len(U_{J in jobs} I(J))``.
+    """
+    return IntervalSet(intervals).length

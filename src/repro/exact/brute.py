@@ -1,0 +1,81 @@
+"""Exhaustive branch-and-bound BSHM oracle for tiny instances.
+
+Independent of scipy: recursively assigns jobs (in arrival order) either to a
+compatible machine already opened or to a fresh machine of each fitting type,
+pruning branches whose accumulated cost already exceeds the incumbent.
+Used to cross-check the MILP oracle and, transitively, every algorithm.
+
+Search-space notes: identical fresh machines of one type are interchangeable,
+so only one "new machine per type" branch is explored per job; cost is
+recomputed exactly at the leaves from the assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+
+from ..core.intervals import IntervalSet
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey, Schedule
+
+__all__ = ["brute_force_optimal"]
+
+
+def brute_force_optimal(jobs: JobSet, ladder: Ladder, *, max_jobs: int = 8) -> Schedule:
+    """Provably optimal schedule by exhaustive search (tiny instances only)."""
+    job_list = list(jobs)  # arrival order
+    if len(job_list) > max_jobs:
+        raise ValueError(f"brute force limited to {max_jobs} jobs")
+    if not job_list:
+        return Schedule(ladder, {})
+
+    best_cost = math.inf
+    best_assignment: dict | None = None
+    machine_seq = count()
+
+    # machine record: [type_index, tag, jobs(list)]
+    def machine_cost(type_index: int, members: list) -> float:
+        busy = IntervalSet(j.interval for j in members)
+        return ladder.rate(type_index) * busy.length
+
+    def recurse(idx: int, machines: list, cost_so_far: float) -> None:
+        nonlocal best_cost, best_assignment
+        if cost_so_far >= best_cost - 1e-12:
+            return
+        if idx == len(job_list):
+            best_cost = cost_so_far
+            best_assignment = {
+                job: MachineKey(t, ("bf", tag))
+                for t, tag, members in machines
+                for job in members
+            }
+            return
+        job = job_list[idx]
+        # try existing machines
+        for rec in machines:
+            t, tag, members = rec
+            if ladder.capacity(t) + 1e-12 < job.size:
+                continue
+            trial = JobSet(members + [job])
+            if trial.peak_demand() > ladder.capacity(t) * (1 + 1e-12):
+                continue
+            old = machine_cost(t, members)
+            new = machine_cost(t, members + [job])
+            rec[2] = members + [job]
+            recurse(idx + 1, machines, cost_so_far - old + new)
+            rec[2] = members
+        # try a fresh machine of each fitting type
+        for t in range(1, ladder.m + 1):
+            if ladder.capacity(t) + 1e-12 < job.size:
+                continue
+            tag = next(machine_seq)
+            rec = [t, tag, [job]]
+            machines.append(rec)
+            recurse(idx + 1, machines, cost_so_far + machine_cost(t, [job]))
+            machines.pop()
+
+    recurse(0, [], 0.0)
+    assert best_assignment is not None
+    return Schedule(ladder, best_assignment)

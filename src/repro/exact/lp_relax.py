@@ -1,0 +1,114 @@
+"""LP relaxation of the exact MILP: a third point between LB and OPT.
+
+Relaxing the assignment variables of the MILP in :mod:`repro.exact.milp` to
+``x in [0, 1]`` yields a polynomial-time bound ``LP_OPT`` with
+
+    Eq.(1) lower bound  <=  (not comparable in general)  LP_OPT  <=  OPT.
+
+``LP_OPT <= OPT`` always (it is a relaxation); the comparison against the
+Eq.-(1) bound is interesting precisely because neither dominates in theory:
+Eq. (1) relaxes *machine persistence* (jobs may hop between machines over
+time) while the LP relaxes *integrality* (jobs may split across machines).
+E7-style tests measure both on the same instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+
+__all__ = ["lp_relaxation_bound"]
+
+
+def lp_relaxation_bound(
+    jobs: JobSet,
+    ladder: Ladder,
+    *,
+    copies_per_type: int | None = None,
+) -> float:
+    """Optimal value of the MILP's LP relaxation (a lower bound on OPT)."""
+    job_list = list(jobs)
+    n = len(job_list)
+    if n == 0:
+        return 0.0
+    if n > 30:
+        raise ValueError("LP oracle intended for small instances (<= 30 jobs)")
+    copies = copies_per_type if copies_per_type is not None else n
+    segments = jobs.segments()
+    machines = [(t, c) for t in range(1, ladder.m + 1) for c in range(copies)]
+    n_mach = len(machines)
+    n_seg = len(segments)
+
+    def x_idx(j: int, m: int) -> int:
+        return j * n_mach + m
+
+    def y_idx(m: int, e: int) -> int:
+        return n * n_mach + m * n_seg + e
+
+    n_var = n * n_mach + n_mach * n_seg
+    cost = np.zeros(n_var)
+    for m, (t, _) in enumerate(machines):
+        for e, seg in enumerate(segments):
+            cost[y_idx(m, e)] = ladder.rate(t) * seg.length
+
+    rows, cols, vals, lower, upper = [], [], [], [], []
+    row = 0
+    for j in range(n):
+        for m in range(n_mach):
+            rows.append(row)
+            cols.append(x_idx(j, m))
+            vals.append(1.0)
+        lower.append(1.0)
+        upper.append(1.0)
+        row += 1
+
+    active = []
+    for seg in segments:
+        mid = (seg.left + seg.right) / 2.0
+        active.append([j for j, job in enumerate(job_list) if job.active_at(mid)])
+
+    for m, (t, _) in enumerate(machines):
+        cap = ladder.capacity(t)
+        for e in range(n_seg):
+            if not active[e]:
+                continue
+            for j in active[e]:
+                rows.append(row)
+                cols.append(x_idx(j, m))
+                vals.append(job_list[j].size)
+            lower.append(-np.inf)
+            upper.append(cap)
+            row += 1
+            for j in active[e]:
+                rows.append(row)
+                cols.append(y_idx(m, e))
+                vals.append(1.0)
+                rows.append(row)
+                cols.append(x_idx(j, m))
+                vals.append(-1.0)
+                lower.append(0.0)
+                upper.append(np.inf)
+                row += 1
+
+    ub = np.ones(n_var)
+    for j, job in enumerate(job_list):
+        for m, (t, _) in enumerate(machines):
+            if ladder.capacity(t) + 1e-12 < job.size:
+                ub[x_idx(j, m)] = 0.0
+
+    result = optimize.milp(
+        c=cost,
+        constraints=optimize.LinearConstraint(
+            sparse.csr_matrix((vals, (rows, cols)), shape=(row, n_var)),
+            np.array(lower),
+            np.array(upper),
+        ),
+        integrality=np.zeros(n_var),  # fully relaxed
+        bounds=optimize.Bounds(np.zeros(n_var), ub),
+    )
+    if not result.success:
+        raise RuntimeError(f"LP relaxation failed: {result.message}")
+    return float(result.fun)

@@ -1,0 +1,166 @@
+"""Exact BSHM via mixed-integer programming (scipy/HiGHS).
+
+For small instances the true optimum is computable: binary assignment
+variables ``x[j, m]`` (job → machine copy) and busy indicators ``y[m, e]``
+(machine copy × elementary segment), with
+
+    minimize    Σ r(m) · len(e) · y[m, e]
+    subject to  Σ_m x[j, m] = 1                      (every job placed)
+                Σ_{j active in e} s_j x[j, m] <= g(m)   (capacity)
+                y[m, e] >= x[j, m]   for j active in e  (busy if hosting)
+
+``y`` may be continuous in [0, 1]: with binary ``x`` the constraints force
+``y`` to the max of the relevant ``x`` and the objective pushes it down to
+exactly that.  The machine pool has one copy per (type, job) pair — never
+fewer copies than an optimal solution needs.
+
+This is the oracle for the E7 optimality-gap bench and for cross-checking
+the Eq.-(1) lower bound in tests.  Use only on instances of ~12 jobs or
+fewer; the model grows as jobs × types × segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey, Schedule
+
+__all__ = ["MilpResult", "solve_optimal"]
+
+
+@dataclass(frozen=True, slots=True)
+class MilpResult:
+    """Optimal cost and a realizing schedule."""
+
+    cost: float
+    schedule: Schedule
+    status: str
+
+
+def solve_optimal(
+    jobs: JobSet,
+    ladder: Ladder,
+    *,
+    copies_per_type: int | None = None,
+    time_limit: float | None = 60.0,
+) -> MilpResult:
+    """Solve the instance to optimality; raises on solver failure."""
+    job_list = list(jobs)
+    n = len(job_list)
+    if n == 0:
+        return MilpResult(0.0, Schedule(ladder, {}), "empty")
+    if n > 16:
+        raise ValueError("MILP oracle is intended for small instances (<= 16 jobs)")
+    copies = copies_per_type if copies_per_type is not None else n
+    segments = jobs.segments()
+
+    machines: list[tuple[int, int]] = [
+        (t, c) for t in range(1, ladder.m + 1) for c in range(copies)
+    ]
+    n_mach = len(machines)
+    n_seg = len(segments)
+
+    # variable layout: x[j, m] first (n * n_mach), then y[m, e] (n_mach * n_seg)
+    def x_idx(j: int, m: int) -> int:
+        return j * n_mach + m
+
+    def y_idx(m: int, e: int) -> int:
+        return n * n_mach + m * n_seg + e
+
+    n_var = n * n_mach + n_mach * n_seg
+    cost = np.zeros(n_var)
+    for m, (t, _) in enumerate(machines):
+        for e, seg in enumerate(segments):
+            cost[y_idx(m, e)] = ladder.rate(t) * seg.length
+
+    rows, cols, vals = [], [], []
+    lower, upper = [], []
+    row = 0
+
+    # each job on exactly one machine that fits it
+    for j, job in enumerate(job_list):
+        for m, (t, _) in enumerate(machines):
+            if ladder.capacity(t) + 1e-12 >= job.size:
+                rows.append(row)
+                cols.append(x_idx(j, m))
+                vals.append(1.0)
+        lower.append(1.0)
+        upper.append(1.0)
+        row += 1
+
+    # which jobs are active on each segment (by midpoint)
+    active: list[list[int]] = []
+    for seg in segments:
+        mid = (seg.left + seg.right) / 2.0
+        active.append([j for j, job in enumerate(job_list) if job.active_at(mid)])
+
+    # capacity per machine per segment
+    for m, (t, _) in enumerate(machines):
+        cap = ladder.capacity(t)
+        for e in range(n_seg):
+            if not active[e]:
+                continue
+            for j in active[e]:
+                rows.append(row)
+                cols.append(x_idx(j, m))
+                vals.append(job_list[j].size)
+            lower.append(-np.inf)
+            upper.append(cap)
+            row += 1
+
+    # busy linking: y[m, e] - x[j, m] >= 0 for every active j
+    for m in range(n_mach):
+        for e in range(n_seg):
+            for j in active[e]:
+                rows.append(row)
+                cols.append(y_idx(m, e))
+                vals.append(1.0)
+                rows.append(row)
+                cols.append(x_idx(j, m))
+                vals.append(-1.0)
+                lower.append(0.0)
+                upper.append(np.inf)
+                row += 1
+
+    constraints = optimize.LinearConstraint(
+        sparse.csr_matrix((vals, (rows, cols)), shape=(row, n_var)),
+        np.array(lower),
+        np.array(upper),
+    )
+    integrality = np.zeros(n_var)
+    integrality[: n * n_mach] = 1  # x binary, y continuous
+
+    # forbid x[j, m] for machines that cannot fit the job
+    ub = np.ones(n_var)
+    for j, job in enumerate(job_list):
+        for m, (t, _) in enumerate(machines):
+            if ladder.capacity(t) + 1e-12 < job.size:
+                ub[x_idx(j, m)] = 0.0
+    bounds = optimize.Bounds(np.zeros(n_var), ub)
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    result = optimize.milp(
+        c=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options=options,
+    )
+    if not result.success:
+        raise RuntimeError(f"MILP failed: {result.message}")
+
+    assignment = {}
+    x = result.x
+    for j, job in enumerate(job_list):
+        m = int(np.argmax([x[x_idx(j, mm)] for mm in range(n_mach)]))
+        t, c = machines[m]
+        assignment[job] = MachineKey(t, ("opt", c))
+    schedule = Schedule(ladder, assignment)
+    return MilpResult(cost=float(result.fun), schedule=schedule, status=result.message)

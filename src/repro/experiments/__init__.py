@@ -1,0 +1,64 @@
+"""Experiment registry: one module per experiment id (see DESIGN.md)."""
+
+from __future__ import annotations
+
+from . import (
+    e01_dec_offline,
+    e02_dec_online,
+    e03_inc_offline,
+    e04_inc_online,
+    e05_general,
+    e06_comparison,
+    e07_opt_gap,
+    e08_fig1,
+    e09_fig2,
+    e10_ablations,
+    e11_scaling,
+    e12_normalization,
+    e13_clairvoyance,
+    e14_uniform,
+    e15_certificate,
+    e16_tightness,
+    e17_placement,
+    e18_hardness,
+    e19_windowed,
+    e20_billing,
+    e21_crossover,
+)
+from .harness import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "E1": e01_dec_offline,
+    "E2": e02_dec_online,
+    "E3": e03_inc_offline,
+    "E4": e04_inc_online,
+    "E5": e05_general,
+    "E6": e06_comparison,
+    "E7": e07_opt_gap,
+    "E8": e08_fig1,
+    "E9": e09_fig2,
+    "E10": e10_ablations,
+    "E11": e11_scaling,
+    "E12": e12_normalization,
+    "E13": e13_clairvoyance,
+    "E14": e14_uniform,
+    "E15": e15_certificate,
+    "E16": e16_tightness,
+    "E17": e17_placement,
+    "E18": e18_hardness,
+    "E19": e19_windowed,
+    "E20": e20_billing,
+    "E21": e21_crossover,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_experiment"]
+
+
+def run_experiment(experiment_id: str, scale: str = "full") -> ExperimentResult:
+    """Run one experiment by id ('E1'..'E12')."""
+    module = ALL_EXPERIMENTS.get(experiment_id.upper())
+    if module is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(ALL_EXPERIMENTS)}"
+        )
+    return module.run(scale=scale)

@@ -1,0 +1,53 @@
+"""E2 — Theorem 2: DEC-ONLINE is 32(μ+1)-competitive.
+
+Sweeps the max/min duration ratio μ and reports ``cost / LB`` against the
+``32(μ+1)`` curve.  The interesting *shape*: the measured ratio grows far
+slower than linearly in μ on stochastic workloads, but the staircase
+adversary (last rows) shows genuine μ-sensitivity of First-Fit style
+packing.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import adversarial_staircase, bounded_mu_workload
+from ..machines.catalog import dec_ladder
+from ..online.dec_online import DecOnlineScheduler
+from .harness import ExperimentResult, online_algorithm, rng_for, scale_factor
+
+EXPERIMENT_ID = "E2"
+TITLE = "DEC-ONLINE competitive ratio vs mu (Theorem 2 bound: 32(mu+1))"
+
+MUS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(30, int(250 * f))
+    ladder = dec_ladder(3)
+    algo = online_algorithm(DecOnlineScheduler)
+    rows = []
+    passed = True
+    for mu in MUS:
+        rng = rng_for(EXPERIMENT_ID, salt=int(mu * 10))
+        jobs = bounded_mu_workload(n, rng, mu=mu, max_size=ladder.capacity(3))
+        r = evaluate("DEC-ONLINE", algo, jobs, ladder, workload=f"bounded-mu({mu:g})")
+        bound = 32.0 * (jobs.mu + 1.0)
+        passed &= r.ratio <= bound
+        rows.append({**r.row(), "bound": round(bound, 1)})
+    # deterministic staircase adversary
+    for levels in (8, 16, 32):
+        jobs = adversarial_staircase(levels, max_size=ladder.capacity(3))
+        r = evaluate("DEC-ONLINE", algo, jobs, ladder, workload=f"staircase({levels})")
+        bound = 32.0 * (jobs.mu + 1.0)
+        passed &= r.ratio <= bound
+        rows.append({**r.row(), "bound": round(bound, 1)})
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=passed,
+    )
+    return result

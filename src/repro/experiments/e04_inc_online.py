@@ -1,0 +1,44 @@
+"""E4 — Section IV: INC-ONLINE is ((9/4)μ + 27/4)-competitive."""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import adversarial_staircase, bounded_mu_workload
+from ..machines.catalog import inc_ladder
+from ..online.inc_online import IncOnlineScheduler
+from .harness import ExperimentResult, online_algorithm, rng_for, scale_factor
+
+EXPERIMENT_ID = "E4"
+TITLE = "INC-ONLINE competitive ratio vs mu (Section IV bound: 2.25*mu + 6.75)"
+
+MUS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(30, int(250 * f))
+    ladder = inc_ladder(4)
+    algo = online_algorithm(IncOnlineScheduler)
+    rows = []
+    passed = True
+    for mu in MUS:
+        rng = rng_for(EXPERIMENT_ID, salt=int(mu * 10))
+        jobs = bounded_mu_workload(n, rng, mu=mu, max_size=ladder.capacity(4))
+        r = evaluate("INC-ONLINE", algo, jobs, ladder, workload=f"bounded-mu({mu:g})")
+        bound = 2.25 * jobs.mu + 6.75
+        passed &= r.ratio <= bound
+        rows.append({**r.row(), "bound": round(bound, 2)})
+    for levels in (8, 16, 32):
+        jobs = adversarial_staircase(levels, max_size=ladder.capacity(4))
+        r = evaluate("INC-ONLINE", algo, jobs, ladder, workload=f"staircase({levels})")
+        bound = 2.25 * jobs.mu + 6.75
+        passed &= r.ratio <= bound
+        rows.append({**r.row(), "bound": round(bound, 2)})
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=passed,
+    )

@@ -1,0 +1,55 @@
+"""E5 — Section V: general-case algorithms, ratio shape vs sqrt(m).
+
+The paper *conjectures* an O(sqrt(m)) approximation for GEN-OFFLINE and
+O(sqrt(m) mu) for GEN-ONLINE.  We measure the ratio across ladder widths and
+report ``ratio / sqrt(m)``: the conjecture predicts this column stays
+bounded as m grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import uniform_workload
+from ..machines.catalog import paper_fig2_ladder, random_general_ladder
+from ..offline.general_offline import general_offline
+from ..online.general_online import GeneralOnlineScheduler
+from .harness import ExperimentResult, online_algorithm, rng_for, scale_factor
+
+EXPERIMENT_ID = "E5"
+TITLE = "General-case ratios vs m (Section V conjecture: O(sqrt(m)))"
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(40, int(300 * f))
+    rows = []
+    online_fn = online_algorithm(GeneralOnlineScheduler)
+    ladders = {f"random(m={m})": None for m in (2, 4, 8)}
+    for m in (2, 4, 8):
+        rng = rng_for(EXPERIMENT_ID, salt=m)
+        ladders[f"random(m={m})"] = random_general_ladder(m, rng)
+    ladders["fig2(m=8)"] = paper_fig2_ladder()
+
+    for lname, ladder in ladders.items():
+        rng = rng_for(EXPERIMENT_ID, salt=1000 + ladder.m)
+        jobs = uniform_workload(n, rng, max_size=ladder.capacity(ladder.m))
+        for aname, fn in (("GEN-OFFLINE", general_offline), ("GEN-ONLINE", online_fn)):
+            r = evaluate(aname, fn, jobs, ladder, workload=lname)
+            rows.append(
+                {
+                    **r.row(),
+                    "m": ladder.m,
+                    "regime": ladder.regime.value,
+                    "ratio/sqrt(m)": round(r.ratio / math.sqrt(ladder.m), 4),
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=all(row["ratio/sqrt(m)"] < 14.0 for row in rows),
+    )

@@ -1,0 +1,103 @@
+"""E6 — Head-to-head: paper algorithms vs practitioner baselines.
+
+Six workloads × three ladder regimes.  The table reports the cost ratio to
+the Eq.-(1) lower bound for every applicable algorithm, so "who wins, and by
+how much" is directly visible.  Expected shape: the regime-matched paper
+algorithm is at or near the best ratio; OneJobPerMachine loses badly on
+packable workloads; LargestTypeFirstFit loses on light load over DEC
+ladders but is competitive under heavy load.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate_suite
+from ..analysis.tables import render_table
+from ..baselines.naive import CheapestFitGreedy, LargestTypeFirstFit, OneJobPerMachine
+from ..jobs.generators.workloads import (
+    adversarial_staircase,
+    bounded_mu_workload,
+    bursty_workload,
+    day_night_workload,
+    poisson_workload,
+    uniform_workload,
+)
+from ..machines.catalog import dec_ladder, inc_ladder, paper_fig2_ladder
+from ..offline.dec_offline import dec_offline
+from ..offline.general_offline import general_offline
+from ..offline.inc_offline import inc_offline
+from ..online.dec_online import DecOnlineScheduler
+from ..online.general_online import GeneralOnlineScheduler
+from ..online.inc_online import IncOnlineScheduler
+from .harness import ExperimentResult, online_algorithm, rng_for, scale_factor
+
+EXPERIMENT_ID = "E6"
+TITLE = "Algorithm comparison: cost / LB across workloads and regimes"
+
+
+def _workloads(n: int, gmax: float, salt: int):
+    rng = lambda s: rng_for(EXPERIMENT_ID, salt=salt * 10 + s)  # noqa: E731
+    return {
+        "uniform": uniform_workload(n, rng(1), max_size=gmax),
+        "poisson": poisson_workload(n, rng(2), max_size=gmax),
+        "day-night": day_night_workload(n, rng(3), max_size=gmax),
+        "bursty": bursty_workload(n, rng(4), max_size=gmax),
+        "bounded-mu(8)": bounded_mu_workload(n, rng(5), mu=8.0, max_size=gmax),
+        "staircase": adversarial_staircase(16, max_size=gmax),
+    }
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(30, int(200 * f))
+    rows = []
+
+    regimes = {
+        "DEC": (
+            dec_ladder(3),
+            {
+                "DEC-OFFLINE": dec_offline,
+                "DEC-ONLINE": online_algorithm(DecOnlineScheduler),
+                "GEN-OFFLINE": general_offline,
+                "GEN-ONLINE": online_algorithm(GeneralOnlineScheduler),
+            },
+        ),
+        "INC": (
+            inc_ladder(3),
+            {
+                "INC-OFFLINE": inc_offline,
+                "INC-ONLINE": online_algorithm(IncOnlineScheduler),
+                "GEN-OFFLINE": general_offline,
+                "GEN-ONLINE": online_algorithm(GeneralOnlineScheduler),
+            },
+        ),
+        "GENERAL": (
+            paper_fig2_ladder(),
+            {
+                "GEN-OFFLINE": general_offline,
+                "GEN-ONLINE": online_algorithm(GeneralOnlineScheduler),
+            },
+        ),
+    }
+    baselines = {
+        "OneJobPerMachine": online_algorithm(OneJobPerMachine),
+        "LargestTypeFF": online_algorithm(LargestTypeFirstFit),
+        "CheapestFitGreedy": online_algorithm(CheapestFitGreedy),
+    }
+
+    for regime_name, (ladder, algos) in regimes.items():
+        instances = {
+            f"{regime_name}/{w}": (jobs, ladder)
+            for w, jobs in _workloads(n, ladder.capacity(ladder.m), len(regime_name)).items()
+        }
+        runs = evaluate_suite({**algos, **baselines}, instances)
+        rows.extend(r.row() for r in runs)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(
+            rows, columns=["workload", "algorithm", "cost", "LB", "ratio", "machines"],
+            title=TITLE,
+        ),
+    )

@@ -1,0 +1,78 @@
+"""E7 — True-optimum gaps on tiny instances (MILP oracle).
+
+On instances small enough for the HiGHS MILP, we measure
+
+- ``LB / OPT`` — how tight the Eq.-(1) lower bound is, and
+- ``cost(alg) / OPT`` — true approximation ratios (not just LB ratios)
+
+for the regime-matched offline/online algorithms.  The brute-force oracle
+double-checks the MILP on the smallest instances.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..exact.brute import brute_force_optimal
+from ..exact.milp import solve_optimal
+from ..jobs.generators.workloads import uniform_workload
+from ..lowerbound.bound import lower_bound
+from ..machines.catalog import dec_ladder, inc_ladder
+from ..offline.dec_offline import dec_offline
+from ..offline.inc_offline import inc_offline
+from ..online.dec_online import DecOnlineScheduler
+from ..online.engine import run_online
+from ..online.inc_online import IncOnlineScheduler
+from ..schedule.validate import assert_feasible
+from .harness import ExperimentResult, rng_for
+
+EXPERIMENT_ID = "E7"
+TITLE = "Lower-bound tightness and true ratios on MILP-solvable instances"
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    sizes = (4, 6, 8, 10) if scale == "full" else (4, 6)
+    trials = 3 if scale == "full" else 1
+    rows = []
+    passed = True
+    for regime, ladder, offline_fn, online_cls in (
+        ("DEC", dec_ladder(3), dec_offline, DecOnlineScheduler),
+        ("INC", inc_ladder(3), inc_offline, IncOnlineScheduler),
+    ):
+        for n in sizes:
+            for t in range(trials):
+                rng = rng_for(EXPERIMENT_ID, salt=hash_free_salt(regime, n, t))
+                jobs = uniform_workload(n, rng, max_size=ladder.capacity(3))
+                opt = solve_optimal(jobs, ladder)
+                assert_feasible(opt.schedule, jobs)
+                lb = lower_bound(jobs, ladder).value
+                off = offline_fn(jobs, ladder)
+                onl = run_online(jobs, online_cls(ladder))
+                assert_feasible(off, jobs)
+                assert_feasible(onl, jobs)
+                if n <= 6:
+                    bf = brute_force_optimal(jobs, ladder)
+                    passed &= abs(bf.cost() - opt.cost) <= 1e-6 * max(1.0, opt.cost)
+                passed &= lb <= opt.cost + 1e-9
+                rows.append(
+                    {
+                        "regime": regime,
+                        "n": n,
+                        "trial": t,
+                        "OPT": round(opt.cost, 3),
+                        "LB/OPT": round(lb / opt.cost, 4),
+                        "offline/OPT": round(off.cost() / opt.cost, 4),
+                        "online/OPT": round(onl.cost() / opt.cost, 4),
+                    }
+                )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=passed,
+    )
+
+
+def hash_free_salt(regime: str, n: int, t: int) -> int:
+    """Stable integer salt without Python's randomized hash()."""
+    return (1 if regime == "DEC" else 2) * 10000 + n * 100 + t

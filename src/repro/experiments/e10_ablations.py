@@ -1,0 +1,68 @@
+"""E10 — Ablations of the paper's design constants.
+
+Three knobs, each motivated by a specific choice in the paper:
+
+1. **Offline bottom-region factor** (paper: ``B_i = 2 (ratio - 1)`` strips).
+   Smaller factors push more jobs to expensive high types; larger factors
+   keep more cheap machines busy.
+2. **Online group budget factor** (paper: ``4 (ratio - 1)`` per group).
+3. **Strip divisor** (paper: strips of height ``g/2``).  Finer strips mean
+   more, smaller machines-per-strip — the 2-overlap argument still applies.
+
+Each row reports the cost ratio to LB on the same workloads, so the table
+shows whether the paper's constants sit in a reasonable spot.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import day_night_workload, uniform_workload
+from ..machines.catalog import dec_ladder
+from ..offline.dec_offline import dec_offline
+from ..online.dec_online import DecOnlineScheduler
+from .harness import ExperimentResult, online_algorithm, rng_for, scale_factor
+
+EXPERIMENT_ID = "E10"
+TITLE = "Ablations: bottom-region factor, online budget factor, strip divisor"
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(40, int(250 * f))
+    ladder = dec_ladder(3)
+    gmax = ladder.capacity(3)
+    rng1 = rng_for(EXPERIMENT_ID, salt=1)
+    rng2 = rng_for(EXPERIMENT_ID, salt=2)
+    workloads = {
+        "uniform": uniform_workload(n, rng1, max_size=gmax),
+        "day-night": day_night_workload(n, rng2, max_size=gmax),
+    }
+    rows = []
+
+    for wname, jobs in workloads.items():
+        for factor in (1.0, 2.0, 4.0):
+            fn = lambda j, l, ff=factor: dec_offline(j, l, budget_factor=ff)  # noqa: E731
+            r = evaluate(f"DEC-OFFLINE[b={factor:g}]", fn, jobs, ladder, workload=wname)
+            rows.append({**r.row(), "knob": "offline budget_factor", "value": factor})
+        for divisor in (2.0, 3.0, 4.0):
+            fn = lambda j, l, dd=divisor: dec_offline(j, l, strip_divisor=dd)  # noqa: E731
+            r = evaluate(f"DEC-OFFLINE[d={divisor:g}]", fn, jobs, ladder, workload=wname)
+            rows.append({**r.row(), "knob": "strip_divisor", "value": divisor})
+        for factor in (1.0, 2.0, 4.0, 8.0):
+            fn = online_algorithm(
+                lambda l, ff=factor: DecOnlineScheduler(l, budget_factor=ff)
+            )
+            r = evaluate(f"DEC-ONLINE[b={factor:g}]", fn, jobs, ladder, workload=wname)
+            rows.append({**r.row(), "knob": "online budget_factor", "value": factor})
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(
+            rows,
+            columns=["workload", "knob", "value", "algorithm", "ratio", "machines"],
+            title=TITLE,
+        ),
+    )

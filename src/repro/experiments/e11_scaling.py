@@ -1,0 +1,50 @@
+"""E11 — Runtime scaling with instance size.
+
+Wall-clock seconds per algorithm as the number of jobs grows.  The online
+algorithms are near-linear (event loop + First-Fit scans); the offline
+algorithms pay for the placement phase (pairwise conflict construction),
+which is the documented hot spot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import poisson_workload
+from ..machines.catalog import dec_ladder, inc_ladder
+from ..offline.dec_offline import dec_offline
+from ..offline.inc_offline import inc_offline
+from ..online.dec_online import DecOnlineScheduler
+from ..online.engine import run_online
+from ..online.inc_online import IncOnlineScheduler
+from ..lowerbound.bound import lower_bound
+from .harness import ExperimentResult, rng_for
+
+EXPERIMENT_ID = "E11"
+TITLE = "Runtime scaling (seconds) vs number of jobs"
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    sizes = (100, 400, 1600, 4000) if scale == "full" else (100, 400)
+    dec = dec_ladder(3)
+    inc = inc_ladder(3)
+    rows = []
+    for n in sizes:
+        rng = rng_for(EXPERIMENT_ID, salt=n)
+        jobs_dec = poisson_workload(n, rng, max_size=dec.capacity(3))
+        jobs_inc = poisson_workload(n, rng, max_size=inc.capacity(3))
+        timings = {}
+        clock = time.perf_counter
+        t0 = clock(); dec_offline(jobs_dec, dec); timings["DEC-OFFLINE"] = clock() - t0
+        t0 = clock(); run_online(jobs_dec, DecOnlineScheduler(dec)); timings["DEC-ONLINE"] = clock() - t0
+        t0 = clock(); inc_offline(jobs_inc, inc); timings["INC-OFFLINE"] = clock() - t0
+        t0 = clock(); run_online(jobs_inc, IncOnlineScheduler(inc)); timings["INC-ONLINE"] = clock() - t0
+        t0 = clock(); lower_bound(jobs_dec, dec); timings["lower-bound"] = clock() - t0
+        rows.append({"n": n, **{k: round(v, 4) for k, v in timings.items()}})
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+    )

@@ -1,0 +1,73 @@
+"""E12 — Section II: the power-of-2 normalization costs at most 2x.
+
+EC2-like ladders (realistic non-power-of-2 pricing) are normalized; the
+general-case algorithms run on the normalized ladder and the resulting
+schedule is realized back on the original ladder.  The paper's claim:
+
+    cost(realized on original)  <=  cost(on normalized)
+                                <=  2 * (what the same algorithm could have
+                                          achieved with exact rates)
+
+We verify the first inequality exactly and report the realized/normalized
+ratio (the empirical normalization overhead) plus the ratio to the original
+ladder's lower bound.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import day_night_workload, uniform_workload
+from ..lowerbound.bound import lower_bound
+from ..machines.catalog import ec2_like_ladder
+from ..machines.normalization import normalize
+from ..offline.general_offline import general_offline
+from ..schedule.validate import assert_feasible
+from .harness import ExperimentResult, rng_for, scale_factor
+
+EXPERIMENT_ID = "E12"
+TITLE = "Normalization overhead on EC2-like ladders (Section II bound: 2x)"
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(40, int(250 * f))
+    rows = []
+    passed = True
+    for exponent in (0.7, 0.85, 1.1, 1.25):
+        original = ec2_like_ladder(5, price_exponent=exponent)
+        norm = normalize(original)
+        rng = rng_for(EXPERIMENT_ID, salt=int(exponent * 100))
+        for wname, jobs in {
+            "uniform": uniform_workload(n, rng, max_size=norm.normalized.capacity(norm.normalized.m)),
+            "day-night": day_night_workload(
+                n, rng, max_size=norm.normalized.capacity(norm.normalized.m)
+            ),
+        }.items():
+            schedule_norm = general_offline(jobs, norm.normalized)
+            assert_feasible(schedule_norm, jobs)
+            schedule_orig = norm.realize_schedule(schedule_norm)
+            assert_feasible(schedule_orig, jobs)
+            lb_orig = lower_bound(jobs, original).value
+            cost_n = schedule_norm.cost()
+            cost_o = schedule_orig.cost()
+            passed &= cost_o <= cost_n + 1e-9  # rounding was upward
+            passed &= cost_n <= 2.0 * cost_o + 1e-9
+            rows.append(
+                {
+                    "price_exp": exponent,
+                    "workload": wname,
+                    "m_norm": norm.normalized.m,
+                    "regime": original.regime.value,
+                    "cost(norm rates)": round(cost_n, 2),
+                    "cost(real rates)": round(cost_o, 2),
+                    "overhead": round(cost_n / cost_o, 4),
+                    "real/LB": round(cost_o / lb_orig, 4),
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=passed,
+    )

@@ -1,0 +1,72 @@
+"""E17 (extension) — placement-order ablation.
+
+Our greedy placer (DESIGN.md substitution 1) keeps the paper's 2-overlap
+contract as a hard invariant and chart containment as a soft goal.  This
+experiment quantifies the soft part across placement orders (arrival /
+largest-size-first / longest-duration-first):
+
+- overflow rate (jobs whose band exceeds the chart), and
+- the downstream effect on DEC-OFFLINE's cost ratio.
+
+This is the honesty check for the substitution: overflow is rare and its
+cost effect is small regardless of order.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import day_night_workload, uniform_workload
+from ..machines.catalog import dec_ladder
+from ..offline.dec_offline import dec_offline
+from ..placement.greedy import place_jobs
+from .harness import ExperimentResult, rng_for, scale_factor
+
+EXPERIMENT_ID = "E17"
+TITLE = "Placement-order ablation: overflow rate and DEC-OFFLINE ratio"
+
+ORDERS = ("arrival", "size", "duration")
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(40, int(300 * f))
+    ladder = dec_ladder(3)
+    gmax = ladder.capacity(3)
+    workloads = {
+        "uniform": uniform_workload(n, rng_for(EXPERIMENT_ID, 1), max_size=gmax),
+        "day-night": day_night_workload(n, rng_for(EXPERIMENT_ID, 2), max_size=gmax),
+    }
+    rows = []
+    for wname, jobs in workloads.items():
+        for order in ORDERS:
+            placement = place_jobs(jobs, order=order)
+            overlap = placement.max_overlap()
+            overflow = len(placement.overflowed)
+            violations = len(placement.containment_violations())
+            run_ = evaluate(
+                f"DEC-OFFLINE[{order}]",
+                lambda j, l, o=order: dec_offline(j, l, placement_order=o),
+                jobs,
+                ladder,
+                workload=wname,
+            )
+            rows.append(
+                {
+                    "workload": wname,
+                    "order": order,
+                    "max overlap": overlap,
+                    "overflow jobs": overflow,
+                    "containment violations": violations,
+                    "overflow %": round(100.0 * overflow / len(jobs), 2),
+                    "DEC-OFFLINE ratio": round(run_.ratio, 4),
+                }
+            )
+    passed = all(r["max overlap"] <= 2 for r in rows)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(rows, title=TITLE),
+        passed=passed,
+    )

@@ -1,0 +1,69 @@
+"""E19 (extension) — how much lookahead buys: windowed semi-online.
+
+Between the paper's offline (everything known) and non-clairvoyant online
+(nothing known) sits the practical batcher: plan all jobs arriving within a
+window of width W with the offline algorithm, window by window.  W = 0 is
+fully online; W = horizon is fully offline (minus cross-window machine
+sharing, which this realization forgoes).
+
+Expected shape: the ratio improves from the online level toward the offline
+level as W grows, with diminishing returns once W passes the typical job
+duration — quantifying the marginal value of arrival lookahead.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import evaluate
+from ..analysis.tables import render_table
+from ..jobs.generators.workloads import poisson_workload
+from ..machines.catalog import dec_ladder
+from ..offline.dec_offline import dec_offline
+from ..online.dec_online import DecOnlineScheduler
+from ..online.engine import run_online
+from ..online.windowed import windowed_schedule
+from .harness import ExperimentResult, rng_for, scale_factor
+
+EXPERIMENT_ID = "E19"
+TITLE = "Windowed semi-online: ratio vs planning-window width"
+
+WINDOWS = (0.5, 2.0, 8.0, 32.0, 128.0)
+
+
+def run(scale: str = "full") -> ExperimentResult:
+    f = scale_factor(scale)
+    n = max(60, int(400 * f))
+    ladder = dec_ladder(3)
+    rng = rng_for(EXPERIMENT_ID, 1)
+    jobs = poisson_workload(n, rng, rate=2.0, mean_duration=5.0, max_size=ladder.capacity(3))
+    rows = []
+
+    online_run = evaluate(
+        "DEC-ONLINE (W=0)",
+        lambda j, l: run_online(j, DecOnlineScheduler(l)),
+        jobs,
+        ladder,
+        workload="poisson",
+    )
+    rows.append({**online_run.row(), "window": 0.0})
+    for window in WINDOWS:
+        r = evaluate(
+            f"windowed(W={window:g})",
+            lambda j, l, w=window: windowed_schedule(j, l, dec_offline, window=w),
+            jobs,
+            ladder,
+            workload="poisson",
+        )
+        rows.append({**r.row(), "window": window})
+    offline_run = evaluate("DEC-OFFLINE (full)", dec_offline, jobs, ladder, workload="poisson")
+    rows.append({**offline_run.row(), "window": float("inf")})
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        table=render_table(
+            rows, columns=["algorithm", "window", "cost", "ratio", "machines"],
+            title=TITLE,
+        ),
+        passed=all(row["ratio"] < 14.0 for row in rows),
+    )

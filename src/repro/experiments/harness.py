@@ -1,0 +1,73 @@
+"""Shared experiment infrastructure.
+
+Each experiment module exposes ``run(scale="full"|"quick") -> ExperimentResult``.
+``quick`` shrinks instance sizes for fast CI/bench runs; ``full`` produces
+the numbers recorded in EXPERIMENTS.md.  Seeds are fixed per experiment so
+results are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..online.engine import run_online
+from ..schedule.schedule import Schedule
+
+__all__ = ["ExperimentResult", "online_algorithm", "scale_factor", "rng_for"]
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """What an experiment hands back to the harness / bench / docs."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    table: str = ""
+    figures: dict[str, str] = field(default_factory=dict)  # name -> ascii art
+    notes: list[str] = field(default_factory=list)
+    passed: bool = True
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.table:
+            parts.append(self.table)
+        for name, art in self.figures.items():
+            parts.append(f"-- {name} --\n{art}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        parts.append(f"status: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)
+
+
+def online_algorithm(
+    scheduler_factory: Callable[[Ladder], object],
+) -> Callable[[JobSet, Ladder], Schedule]:
+    """Wrap an online scheduler class/factory as a (jobs, ladder) -> Schedule
+    function so online and offline algorithms share the evaluation path."""
+
+    def fn(jobs: JobSet, ladder: Ladder) -> Schedule:
+        return run_online(jobs, scheduler_factory(ladder))
+
+    return fn
+
+
+def scale_factor(scale: str) -> float:
+    """Instance-size multiplier: quick runs are ~5x smaller."""
+    if scale == "quick":
+        return 0.2
+    if scale == "full":
+        return 1.0
+    raise ValueError(f"unknown scale {scale!r} (use 'quick' or 'full')")
+
+
+def rng_for(experiment_id: str, salt: int = 0) -> np.random.Generator:
+    """Deterministic per-experiment RNG."""
+    # do not use hash(): it is salted per process; derive a stable seed
+    seed = sum((i + 1) * ord(c) for i, c in enumerate(experiment_id)) * 1000003 + salt
+    return np.random.default_rng(seed % (2**32))

@@ -1,0 +1,59 @@
+"""Persisting experiment results to disk.
+
+``save_result`` writes one :class:`ExperimentResult` as a directory of
+artifacts (rows as CSV, figures as .txt, a manifest JSON with pass/fail and
+notes); ``save_all`` runs and saves every experiment.  Exposed on the CLI as
+``bshm all --save DIR``.  The manifest makes regression diffing trivial:
+two runs of the same code and seeds produce byte-identical CSVs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis.tables import to_csv
+from .harness import ExperimentResult
+
+__all__ = ["save_result", "save_all", "load_manifest"]
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write one experiment's artifacts; returns the experiment directory."""
+    base = Path(directory) / result.experiment_id.lower()
+    base.mkdir(parents=True, exist_ok=True)
+    (base / "rows.csv").write_text(to_csv(result.rows))
+    (base / "table.txt").write_text(result.table)
+    for name, art in result.figures.items():
+        (base / f"{name}.txt").write_text(art)
+    manifest = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "passed": result.passed,
+        "n_rows": len(result.rows),
+        "notes": result.notes,
+        "figures": sorted(result.figures),
+    }
+    (base / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return base
+
+
+def save_all(directory: str | Path, scale: str = "full") -> dict[str, bool]:
+    """Run every experiment and persist it; returns id -> passed."""
+    from . import ALL_EXPERIMENTS, run_experiment
+
+    outcomes: dict[str, bool] = {}
+    for eid in ALL_EXPERIMENTS:
+        result = run_experiment(eid, scale=scale)
+        save_result(result, directory)
+        outcomes[eid] = result.passed
+    (Path(directory) / "summary.json").write_text(
+        json.dumps({"scale": scale, "outcomes": outcomes}, indent=2)
+    )
+    return outcomes
+
+
+def load_manifest(directory: str | Path, experiment_id: str) -> dict:
+    """Read one experiment's manifest back."""
+    path = Path(directory) / experiment_id.lower() / "manifest.json"
+    return json.loads(path.read_text())

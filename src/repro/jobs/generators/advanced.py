@@ -1,0 +1,146 @@
+"""Advanced workload generators: correlated arrivals and trace replay.
+
+Complements :mod:`repro.jobs.generators.workloads` with processes whose
+burstiness is *structured* rather than i.i.d.:
+
+- :func:`mmpp_workload` — Markov-modulated Poisson process (two hidden
+  states, quiet/busy) — the standard teletraffic model for correlated load;
+- :func:`flash_crowd_workload` — baseline Poisson traffic plus one flash
+  crowd: a surge of short jobs arriving within a narrow window;
+- :func:`sawtooth_workload` — deterministic ramp-and-drop demand used for
+  worst-case probing of budgeted online pools;
+- :func:`replay_arrays` — build a JobSet from parallel arrays (the bridge
+  from any external trace already loaded via numpy/pandas).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..job import Job
+from ..jobset import JobSet
+
+__all__ = [
+    "mmpp_workload",
+    "flash_crowd_workload",
+    "sawtooth_workload",
+    "replay_arrays",
+]
+
+
+def mmpp_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    quiet_rate: float = 0.5,
+    busy_rate: float = 5.0,
+    switch_rate: float = 0.05,
+    mean_duration: float = 4.0,
+    max_size: float = 1.0,
+) -> JobSet:
+    """Two-state MMPP arrivals: exponential sojourns in quiet/busy states
+    with state-dependent Poisson intensity."""
+    arrivals: list[float] = []
+    t = 0.0
+    busy = False
+    while len(arrivals) < n:
+        sojourn = rng.exponential(1.0 / switch_rate)
+        rate = busy_rate if busy else quiet_rate
+        # thin a homogeneous process within the sojourn
+        clock = t
+        while True:
+            clock += rng.exponential(1.0 / rate)
+            if clock >= t + sojourn or len(arrivals) >= n:
+                break
+            arrivals.append(clock)
+        t += sojourn
+        busy = not busy
+    arrivals_arr = np.array(arrivals[:n])
+    durations = np.maximum(rng.exponential(mean_duration, size=n), 0.05 * mean_duration)
+    sizes = rng.uniform(0.05 * max_size, max_size, size=n)
+    return JobSet(
+        Job(float(s), float(a), float(a + d), name=f"MM{k}")
+        for k, (a, d, s) in enumerate(zip(arrivals_arr, durations, sizes))
+    )
+
+
+def flash_crowd_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    horizon: float = 100.0,
+    crowd_fraction: float = 0.4,
+    crowd_center: float | None = None,
+    crowd_width: float = 3.0,
+    crowd_duration: float = 1.0,
+    mean_duration: float = 5.0,
+    max_size: float = 1.0,
+) -> JobSet:
+    """Poisson base load with one flash crowd of short small jobs."""
+    n_crowd = int(n * crowd_fraction)
+    n_base = n - n_crowd
+    center = crowd_center if crowd_center is not None else horizon / 2.0
+    base_arr = rng.uniform(0.0, horizon, size=n_base)
+    base_dur = np.maximum(rng.exponential(mean_duration, size=n_base), 0.05 * mean_duration)
+    base_sz = rng.uniform(0.05 * max_size, max_size, size=n_base)
+    crowd_arr = rng.normal(center, crowd_width / 3.0, size=n_crowd).clip(0.0, horizon)
+    crowd_dur = np.maximum(
+        rng.exponential(crowd_duration, size=n_crowd), 0.05 * crowd_duration
+    )
+    crowd_sz = rng.uniform(0.02 * max_size, 0.3 * max_size, size=n_crowd)
+    jobs = [
+        Job(float(s), float(a), float(a + d), name=f"base{k}")
+        for k, (a, d, s) in enumerate(zip(base_arr, base_dur, base_sz))
+    ] + [
+        Job(float(s), float(a), float(a + d), name=f"crowd{k}")
+        for k, (a, d, s) in enumerate(zip(crowd_arr, crowd_dur, crowd_sz))
+    ]
+    return JobSet(jobs)
+
+
+def sawtooth_workload(
+    teeth: int,
+    jobs_per_tooth: int,
+    *,
+    tooth_period: float = 10.0,
+    job_duration: float = 3.0,
+    size: float = 0.5,
+    max_size: float = 1.0,
+) -> JobSet:
+    """Deterministic sawtooth: each tooth ramps up ``jobs_per_tooth`` jobs
+    at equal spacing, then all of them expire together — repeated demand
+    cliffs that stress machine-reuse logic."""
+    jobs = []
+    for tooth in range(teeth):
+        start = tooth * tooth_period
+        spacing = (tooth_period - job_duration) / max(1, jobs_per_tooth)
+        for k in range(jobs_per_tooth):
+            arrival = start + k * spacing
+            jobs.append(
+                Job(
+                    size * max_size,
+                    arrival,
+                    arrival + job_duration,
+                    name=f"T{tooth}J{k}",
+                )
+            )
+    return JobSet(jobs)
+
+
+def replay_arrays(
+    sizes: np.ndarray,
+    arrivals: np.ndarray,
+    departures: np.ndarray,
+    *,
+    name_prefix: str = "trace",
+) -> JobSet:
+    """Build a JobSet from parallel arrays (external trace bridge)."""
+    sizes = np.asarray(sizes, dtype=float)
+    arrivals = np.asarray(arrivals, dtype=float)
+    departures = np.asarray(departures, dtype=float)
+    if not (sizes.shape == arrivals.shape == departures.shape):
+        raise ValueError("arrays must have identical shapes")
+    return JobSet(
+        Job(float(s), float(a), float(d), name=f"{name_prefix}{k}")
+        for k, (s, a, d) in enumerate(zip(sizes, arrivals, departures))
+    )

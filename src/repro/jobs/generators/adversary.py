@@ -1,0 +1,110 @@
+"""Adaptive adversaries: executable lower-bound constructions.
+
+Li et al. [11] prove that **no** deterministic non-clairvoyant algorithm
+beats mu-competitiveness for MinUsageTime DBP (and hence for BSHM-DEC, its
+generalization).  The construction: release one large batch of small jobs;
+any algorithm must spread them over ~K machines by capacity; at time ``d``
+the adversary kills every job *except one per opened machine* and keeps the
+survivors alive until ``mu * d``.  The algorithm is stuck paying K busy
+machines for the long tail; the optimum, knowing the future, would have
+co-located the survivors and pays ~1 machine for the tail.  With K ~ mu the
+ratio is Theta(mu).
+
+:func:`batch_trap` runs that adversary *adaptively* against any online
+scheduler factory (it inspects the scheduler's actual placement before
+choosing departures, which is exactly what the lower-bound adversary is
+allowed to do).  :func:`ff_trap` layers several batches.  The E16 experiment
+shows DEC-ONLINE's measured ratio growing linearly in mu on these traps —
+the Omega(mu) lower-bound *shape* — demonstrating that Theorem 2's O(mu)
+guarantee is asymptotically tight, exactly as the paper claims.
+"""
+
+from __future__ import annotations
+
+from ...machines.ladder import Ladder
+from ...online.engine import JobView
+from ...schedule.schedule import MachineKey
+from ..job import Job
+from ..jobset import JobSet
+
+__all__ = ["batch_trap", "ff_trap"]
+
+_UID_BASE = 10_000_000
+
+
+def batch_trap(
+    scheduler_factory,
+    ladder: Ladder,
+    *,
+    mu: float = 16.0,
+    target_machines: int | None = None,
+    jobs_per_machine: int = 12,
+    short_duration: float = 1.0,
+    start: float = 0.0,
+    uid_base: int = _UID_BASE,
+) -> JobSet:
+    """One adversarial batch against a non-clairvoyant scheduler.
+
+    ``target_machines`` (default ``ceil(mu)``) controls how many top-type
+    machines the batch is sized to force open; job size is
+    ``g_m / jobs_per_machine`` so each machine fills with about
+    ``jobs_per_machine`` jobs.  After probing the scheduler's placement, one
+    resident per opened machine survives to ``start + mu * short_duration``;
+    the rest die at ``start + short_duration``.
+    """
+    import math
+
+    if mu < 1:
+        raise ValueError("mu must be at least 1")
+    scheduler = scheduler_factory(ladder)
+    k = target_machines if target_machines is not None else max(1, math.ceil(mu))
+    g_top = ladder.capacity(ladder.m)
+    size = g_top / jobs_per_machine
+    n = k * jobs_per_machine
+
+    placements: dict[MachineKey, list[int]] = {}
+    uids = []
+    for i in range(n):
+        uid = uid_base + i
+        view = JobView(uid=uid, size=size, arrival=start, name=f"trap{i}")
+        key = scheduler.on_arrival(view)
+        placements.setdefault(key, []).append(uid)
+        uids.append(uid)
+
+    survivors = {resident[0] for resident in placements.values()}
+    jobs = []
+    for uid in uids:
+        tail = mu * short_duration if uid in survivors else short_duration
+        jobs.append(
+            Job(size, start, start + tail, name=f"trap{uid - uid_base}", uid=uid)
+        )
+    return JobSet(jobs)
+
+
+def ff_trap(
+    scheduler_factory,
+    ladder: Ladder,
+    *,
+    batches: int = 1,
+    mu: float = 16.0,
+    jobs_per_machine: int = 12,
+    short_duration: float = 1.0,
+) -> JobSet:
+    """Several far-apart adversarial batches (each probes a fresh scheduler
+    state — batches are spaced beyond the long tail, so they are
+    independent; the union keeps the overall max/min duration ratio at
+    ``mu``)."""
+    all_jobs: list[Job] = []
+    gap = (mu + 2.0) * short_duration
+    for b in range(batches):
+        batch = batch_trap(
+            scheduler_factory,
+            ladder,
+            mu=mu,
+            jobs_per_machine=jobs_per_machine,
+            short_duration=short_duration,
+            start=b * gap,
+            uid_base=_UID_BASE * (b + 1),
+        )
+        all_jobs.extend(batch)
+    return JobSet(all_jobs)

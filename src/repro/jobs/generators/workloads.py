@@ -1,0 +1,172 @@
+"""Synthetic interval-job workloads (the paper has no traces — DESIGN.md,
+substitution 2).
+
+Every generator takes an explicit ``numpy.random.Generator`` so experiments
+are reproducible bit-for-bit.  Sizes are expressed as fractions of a caller-
+supplied maximum (usually the ladder's largest capacity), so the same
+generator serves any ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...jobs.job import Job
+from ...jobs.jobset import JobSet
+
+__all__ = [
+    "uniform_workload",
+    "poisson_workload",
+    "bounded_mu_workload",
+    "day_night_workload",
+    "bursty_workload",
+    "adversarial_staircase",
+]
+
+
+def _make_jobs(
+    arrivals: np.ndarray, durations: np.ndarray, sizes: np.ndarray, prefix: str
+) -> JobSet:
+    return JobSet(
+        Job(size=float(s), arrival=float(a), departure=float(a + d), name=f"{prefix}{k}")
+        for k, (a, d, s) in enumerate(zip(arrivals, durations, sizes))
+    )
+
+
+def uniform_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    horizon: float = 100.0,
+    max_size: float = 1.0,
+    min_size_frac: float = 0.05,
+    duration_range: tuple[float, float] = (1.0, 10.0),
+) -> JobSet:
+    """Arrivals uniform on the horizon, sizes and durations uniform."""
+    arrivals = rng.uniform(0.0, horizon, size=n)
+    durations = rng.uniform(*duration_range, size=n)
+    sizes = rng.uniform(min_size_frac * max_size, max_size, size=n)
+    return _make_jobs(arrivals, durations, sizes, "U")
+
+
+def poisson_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    rate: float = 1.0,
+    mean_duration: float = 5.0,
+    max_size: float = 1.0,
+    min_size_frac: float = 0.05,
+) -> JobSet:
+    """Poisson arrivals, exponential durations, uniform sizes.
+
+    Durations are floored at 1% of the mean so ``μ`` stays finite.
+    """
+    gaps = rng.exponential(1.0 / rate, size=n)
+    arrivals = np.cumsum(gaps)
+    durations = np.maximum(rng.exponential(mean_duration, size=n), 0.01 * mean_duration)
+    sizes = rng.uniform(min_size_frac * max_size, max_size, size=n)
+    return _make_jobs(arrivals, durations, sizes, "P")
+
+
+def bounded_mu_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    mu: float = 4.0,
+    base_duration: float = 2.0,
+    horizon: float = 100.0,
+    max_size: float = 1.0,
+    min_size_frac: float = 0.05,
+) -> JobSet:
+    """Durations uniform in ``[d, μ·d]`` — the knob for the Theorem-2 sweeps.
+
+    The realized max/min duration ratio is at most ``μ`` (generically close
+    to it for moderate ``n``).
+    """
+    if mu < 1:
+        raise ValueError("mu must be at least 1")
+    arrivals = rng.uniform(0.0, horizon, size=n)
+    durations = rng.uniform(base_duration, mu * base_duration, size=n)
+    sizes = rng.uniform(min_size_frac * max_size, max_size, size=n)
+    return _make_jobs(arrivals, durations, sizes, "M")
+
+
+def day_night_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    period: float = 24.0,
+    days: float = 4.0,
+    peak_to_trough: float = 5.0,
+    mean_duration: float = 3.0,
+    max_size: float = 1.0,
+    heavy_tail: bool = True,
+) -> JobSet:
+    """Cloud-like diurnal workload: sinusoidal arrival intensity over several
+    days, lognormal-ish heavy-tailed sizes, exponential durations.
+
+    Arrival times are drawn by rejection from the intensity
+    ``1 + (peak_to_trough-1)/2 * (1 + sin(2πt/period))``.
+    """
+    horizon = days * period
+    amp = (peak_to_trough - 1.0) / 2.0
+    out: list[float] = []
+    ceiling = 1.0 + 2 * amp
+    while len(out) < n:
+        t = rng.uniform(0.0, horizon, size=2 * n)
+        u = rng.uniform(0.0, ceiling, size=2 * n)
+        lam = 1.0 + amp * (1.0 + np.sin(2 * np.pi * t / period))
+        out.extend(t[u < lam].tolist())
+    arrivals = np.array(out[:n])
+    durations = np.maximum(rng.exponential(mean_duration, size=n), 0.05 * mean_duration)
+    if heavy_tail:
+        raw = rng.lognormal(mean=-1.5, sigma=1.0, size=n)
+        sizes = np.clip(raw, 0.02, 1.0) * max_size
+    else:
+        sizes = rng.uniform(0.05 * max_size, max_size, size=n)
+    return _make_jobs(arrivals, durations, sizes, "D")
+
+
+def bursty_workload(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    bursts: int = 5,
+    horizon: float = 100.0,
+    burst_width: float = 2.0,
+    mean_duration: float = 4.0,
+    max_size: float = 1.0,
+) -> JobSet:
+    """Jobs arrive in tight bursts — stresses the concurrency budgets of the
+    online algorithms (many simultaneous placements)."""
+    centers = rng.uniform(0.0, horizon, size=bursts)
+    which = rng.integers(0, bursts, size=n)
+    arrivals = centers[which] + rng.uniform(0.0, burst_width, size=n)
+    durations = np.maximum(rng.exponential(mean_duration, size=n), 0.05 * mean_duration)
+    sizes = rng.uniform(0.05 * max_size, max_size, size=n)
+    return _make_jobs(arrivals, durations, sizes, "B")
+
+
+def adversarial_staircase(
+    levels: int,
+    *,
+    base_duration: float = 1.0,
+    size: float = 0.3,
+    max_size: float = 1.0,
+) -> JobSet:
+    """A deterministic staircase: level ``k`` holds one job arriving at
+    ``k * base_duration / levels`` and departing at ``base_duration * (k+2)``.
+
+    Demand ramps up then drains one job at a time — the pattern that forces
+    First-Fit style algorithms to keep many machines barely busy, probing the
+    μ-dependence of the online bounds.
+    """
+    jobs = []
+    for k in range(levels):
+        arrival = k * base_duration / levels
+        departure = base_duration * (k + 2.0)
+        jobs.append(
+            Job(size=size * max_size, arrival=arrival, departure=departure, name=f"S{k}")
+        )
+    return JobSet(jobs)

@@ -1,0 +1,137 @@
+"""Instance and schedule I/O: CSV traces in, CSV/JSON reports out.
+
+Formats:
+
+- **Job trace CSV** — header ``size,arrival,departure[,name]``; one job per
+  row.  This is the interchange format of the ``bshm schedule`` CLI and the
+  natural target for converting real cluster traces.
+- **Ladder CSV** — header ``capacity,rate``; one machine type per row.
+- **Schedule CSV** — ``job,size,arrival,departure,type,machine``; written by
+  :func:`write_schedule_csv` for downstream analysis.
+- **Instance JSON** — a single document with jobs + ladder, round-trippable
+  via :func:`write_instance_json` / :func:`read_instance_json`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from ..jobs.job import Job
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..machines.types import MachineType
+from ..schedule.schedule import Schedule
+
+__all__ = [
+    "read_jobs_csv",
+    "write_jobs_csv",
+    "read_ladder_csv",
+    "write_ladder_csv",
+    "write_schedule_csv",
+    "write_instance_json",
+    "read_instance_json",
+]
+
+
+def read_jobs_csv(path: str | Path) -> JobSet:
+    """Load a job trace; raises ValueError with row context on bad data."""
+    jobs = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"size", "arrival", "departure"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"trace must have columns {sorted(required)}, got {reader.fieldnames}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                jobs.append(
+                    Job(
+                        size=float(row["size"]),
+                        arrival=float(row["arrival"]),
+                        departure=float(row["departure"]),
+                        name=row.get("name") or None,
+                    )
+                )
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad job row {row}: {exc}") from exc
+    return JobSet(jobs)
+
+
+def write_jobs_csv(jobs: JobSet, path: str | Path) -> None:
+    """Write a job trace CSV (columns size,arrival,departure,name)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["size", "arrival", "departure", "name"])
+        for job in jobs:
+            writer.writerow([job.size, job.arrival, job.departure, job.name])
+
+
+def read_ladder_csv(path: str | Path) -> Ladder:
+    """Load a machine ladder from CSV (columns capacity,rate)."""
+    types = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"capacity", "rate"} <= set(reader.fieldnames):
+            raise ValueError("ladder CSV must have columns capacity,rate")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                types.append(MachineType(float(row["capacity"]), float(row["rate"])))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: bad type row {row}: {exc}") from exc
+    return Ladder(types)
+
+
+def write_ladder_csv(ladder: Ladder, path: str | Path) -> None:
+    """Write a ladder CSV (columns capacity,rate)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["capacity", "rate"])
+        for t in ladder.types:
+            writer.writerow([t.capacity, t.rate])
+
+
+def write_schedule_csv(schedule: Schedule, path: str | Path) -> None:
+    """Write one row per job: its data plus the machine it runs on."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["job", "size", "arrival", "departure", "type", "machine"])
+        for job, key in sorted(
+            schedule.assignment.items(), key=lambda kv: (kv[0].arrival, kv[0].uid)
+        ):
+            writer.writerow(
+                [job.name, job.size, job.arrival, job.departure, key.type_index, str(key)]
+            )
+
+
+def write_instance_json(jobs: JobSet, ladder: Ladder, path: str | Path) -> None:
+    """Write jobs + ladder as one round-trippable JSON document."""
+    doc = {
+        "ladder": [{"capacity": t.capacity, "rate": t.rate} for t in ladder.types],
+        "jobs": [
+            {
+                "size": j.size,
+                "arrival": j.arrival,
+                "departure": j.departure,
+                "name": j.name,
+            }
+            for j in jobs
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def read_instance_json(path: str | Path) -> tuple[JobSet, Ladder]:
+    """Load ``(jobs, ladder)`` from an instance JSON document."""
+    doc = json.loads(Path(path).read_text())
+    ladder = Ladder(
+        MachineType(t["capacity"], t["rate"]) for t in doc["ladder"]
+    )
+    jobs = JobSet(
+        Job(j["size"], j["arrival"], j["departure"], name=j.get("name"))
+        for j in doc["jobs"]
+    )
+    return jobs, ladder

@@ -1,0 +1,67 @@
+"""Instance linting: catch trace problems before they become mysteries.
+
+``lint_instance`` inspects a job set (optionally against a ladder) and
+returns human-readable warnings for the patterns that most often indicate a
+broken trace or a mis-scaled catalogue:
+
+- jobs that do not fit the largest machine (hard error downstream),
+- near-zero durations (numerically fragile, blow up mu),
+- extreme mu (online guarantees degrade linearly in mu),
+- sizes far below the smallest capacity (suspected unit mismatch),
+- duplicate (size, arrival, departure) triples (suspected double export).
+
+Used by the CLI before scheduling; returns a list of warning strings
+(empty = clean).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..machines.ladder import Ladder
+from .jobset import JobSet
+
+__all__ = ["lint_instance"]
+
+
+def lint_instance(jobs: JobSet, ladder: Ladder | None = None) -> list[str]:
+    """Return a list of warnings (empty when the instance looks healthy)."""
+    warnings: list[str] = []
+    if jobs.empty:
+        return ["instance is empty"]
+
+    durations = [j.duration for j in jobs]
+    min_dur, max_dur = min(durations), max(durations)
+    if min_dur < 1e-6 * max_dur:
+        warnings.append(
+            f"duration spread is extreme: shortest {min_dur:g} vs longest "
+            f"{max_dur:g} (mu = {jobs.mu:.3g}); check the trace's time units"
+        )
+    elif jobs.mu > 1e4:
+        warnings.append(
+            f"mu = {jobs.mu:.3g} is very large; online guarantees degrade "
+            "linearly in mu"
+        )
+
+    triples = Counter((j.size, j.arrival, j.departure) for j in jobs)
+    dupes = sum(c - 1 for c in triples.values() if c > 1)
+    if dupes:
+        warnings.append(
+            f"{dupes} jobs are exact duplicates of another (size, arrival, "
+            "departure); double export?"
+        )
+
+    if ladder is not None:
+        oversize = [j for j in jobs if j.size > ladder.capacity(ladder.m)]
+        if oversize:
+            warnings.append(
+                f"{len(oversize)} jobs exceed the largest capacity "
+                f"{ladder.capacity(ladder.m):g} and cannot be scheduled"
+            )
+        tiny = [j for j in jobs if j.size < 0.001 * ladder.capacity(1)]
+        if len(tiny) > len(jobs) // 2:
+            warnings.append(
+                "most job sizes are below 0.1% of the smallest capacity; "
+                "suspected unit mismatch between trace and catalogue"
+            )
+    return warnings

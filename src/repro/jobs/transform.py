@@ -1,0 +1,108 @@
+"""Instance transformations.
+
+First-class transforms over job sets, used by the scale-invariance property
+tests, the hard-instance mutator and anyone preparing traces:
+
+- :func:`shift_time` / :func:`scale_time` — affine time maps (BSHM cost is
+  equivariant: shifting is free, scaling time scales every cost),
+- :func:`scale_sizes` — demand re-unit (pair with a capacity-scaled ladder),
+- :func:`crop` — restrict to jobs fully inside a window,
+- :func:`clip_to_window` — truncate active intervals to a window (keeps
+  partially-overlapping jobs, shortening them),
+- :func:`concatenate` — place several instances one after another with a
+  gap, preserving per-instance structure.
+
+Each returns fresh jobs (new uids) unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from ..core.intervals import Interval
+from .job import Job
+from .jobset import JobSet
+
+__all__ = [
+    "shift_time",
+    "scale_time",
+    "scale_sizes",
+    "crop",
+    "clip_to_window",
+    "concatenate",
+]
+
+
+def shift_time(jobs: JobSet, delta: float) -> JobSet:
+    """Translate every active interval by ``delta`` (uids preserved)."""
+    return JobSet(
+        Job(j.size, j.arrival + delta, j.departure + delta, name=j.name, uid=j.uid)
+        for j in jobs
+    )
+
+
+def scale_time(jobs: JobSet, factor: float, *, origin: float = 0.0) -> JobSet:
+    """Scale time about ``origin`` by ``factor > 0`` (uids preserved).
+
+    Busy-time costs of any fixed assignment scale by exactly ``factor``.
+    """
+    if factor <= 0:
+        raise ValueError("time scale factor must be positive")
+    return JobSet(
+        Job(
+            j.size,
+            origin + (j.arrival - origin) * factor,
+            origin + (j.departure - origin) * factor,
+            name=j.name,
+            uid=j.uid,
+        )
+        for j in jobs
+    )
+
+
+def scale_sizes(jobs: JobSet, factor: float) -> JobSet:
+    """Scale every size by ``factor > 0`` (uids preserved).
+
+    Pair with a ladder whose capacities are scaled identically and all
+    schedules/costs are unchanged.
+    """
+    if factor <= 0:
+        raise ValueError("size scale factor must be positive")
+    return JobSet(
+        Job(j.size * factor, j.arrival, j.departure, name=j.name, uid=j.uid)
+        for j in jobs
+    )
+
+
+def crop(jobs: JobSet, window: Interval) -> JobSet:
+    """Keep only jobs fully contained in the window (uids preserved)."""
+    return jobs.filter(lambda j: window.covers(j.interval))
+
+
+def clip_to_window(jobs: JobSet, window: Interval) -> JobSet:
+    """Truncate jobs to the window; jobs disjoint from it are dropped.
+
+    Clipped jobs get fresh uids (their intervals changed identity).
+    """
+    out = []
+    for j in jobs:
+        iv = j.interval.intersect(window)
+        if iv is not None:
+            out.append(Job(j.size, iv.left, iv.right, name=j.name))
+    return JobSet(out)
+
+
+def concatenate(instances: list[JobSet], *, gap: float = 1.0) -> JobSet:
+    """Lay instances end to end, separated by ``gap`` idle time.
+
+    Jobs get fresh uids (several instances may share uid ranges).
+    """
+    out = []
+    cursor = 0.0
+    for inst in instances:
+        if inst.empty:
+            continue
+        span = inst.busy_span()
+        offset = cursor - span.intervals[0].left
+        for j in inst:
+            out.append(Job(j.size, j.arrival + offset, j.departure + offset, name=j.name))
+        cursor = span.intervals[-1].right + offset + gap
+    return JobSet(out)

@@ -1,0 +1,146 @@
+"""Optimal machine configurations (paper Section II, Eq. 1).
+
+At a fixed time ``t`` let ``D_i = s(J_{>=i}(t), t)`` be the total size of the
+active jobs that must run on machines of type at least ``i`` (those with
+``s(J) > g_{i-1}``).  Any feasible BSHM solution uses machine counts
+``w(i, t)`` with
+
+    sum_{j >= i} w(j, t) * g_j  >=  D_i     for every i,
+
+and the *optimal machine configuration* ``w*(., t)`` minimizes the cost rate
+``sum_i w(i, t) * r_i`` subject to these nested constraints.  This module
+solves that small integer program **exactly** with a memoized depth-first
+search over types from ``m`` down to ``1``; the suffix capacity bought so far
+is the only state.  Branching is bounded because buying more capacity than
+``D_1`` is never useful.
+
+The solver is cross-checked against ``scipy.optimize.milp`` in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+
+__all__ = ["OptimalConfig", "optimal_config", "demands_at", "ConfigSolver"]
+
+_TOL = 1e-9
+
+
+def _ceil_div(x: float, g: float) -> int:
+    """``ceil(x / g)`` robust to float noise; 0 for non-positive ``x``."""
+    if x <= _TOL:
+        return 0
+    return int(math.ceil(x / g - 1e-12))
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalConfig:
+    """An optimal configuration: per-type counts and the optimal cost rate."""
+
+    counts: tuple[int, ...]  # counts[i-1] = w*(i, t)
+    rate: float  # sum_i w*(i,t) * r_i
+
+    def count(self, i: int) -> int:
+        """``w*(i, t)`` for one 1-based type index."""
+        return self.counts[i - 1]
+
+
+def demands_at(jobs: JobSet, t: float, ladder: Ladder) -> tuple[float, ...]:
+    """The nested demand vector ``(D_1, ..., D_m)`` at time ``t``.
+
+    ``D_i`` sums the sizes of active jobs with ``s(J) > g_{i-1}``; the vector
+    is non-increasing by construction.
+    """
+    active = [(j.size) for j in jobs if j.active_at(t)]
+    return demands_from_sizes(active, ladder)
+
+
+def demands_from_sizes(sizes: Sequence[float], ladder: Ladder) -> tuple[float, ...]:
+    """Demand vector for a multiset of active job sizes."""
+    out = []
+    for i in range(1, ladder.m + 1):
+        g_prev = ladder.capacity(i - 1)
+        out.append(sum(s for s in sizes if s > g_prev))
+    return tuple(out)
+
+
+class ConfigSolver:
+    """Exact solver for optimal machine configurations over one ladder.
+
+    Caches solutions across calls (keyed on the demand vector), which pays
+    off because an instance has many elementary segments with identical
+    active-size multisets.
+    """
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self._cache: dict[tuple[float, ...], OptimalConfig] = {}
+
+    def solve(self, demands: Sequence[float]) -> OptimalConfig:
+        """Optimal configuration for a non-increasing demand vector."""
+        demands = tuple(float(d) for d in demands)
+        if len(demands) != self.ladder.m:
+            raise ValueError("demand vector length must equal the number of types")
+        for a, b in zip(demands[:-1], demands[1:]):
+            if b > a + _TOL:
+                raise ValueError("demand vector must be non-increasing")
+        if demands[0] <= _TOL:
+            return OptimalConfig(counts=(0,) * self.ladder.m, rate=0.0)
+        cached = self._cache.get(demands)
+        if cached is None:
+            cached = self._solve_uncached(demands)
+            self._cache[demands] = cached
+        return cached
+
+    def _solve_uncached(self, demands: tuple[float, ...]) -> OptimalConfig:
+        g = self.ladder.capacities
+        r = self.ladder.rates
+        m = self.ladder.m
+        d_top = demands[0]
+        best_cost = math.inf
+        best_counts: tuple[int, ...] | None = None
+        memo: dict[tuple[int, float], tuple[float, tuple[int, ...]]] = {}
+
+        def rec(i: int, suffix_cap: float) -> tuple[float, tuple[int, ...]]:
+            """Best cost/counts for types i..1 given capacity bought above."""
+            if suffix_cap >= d_top - _TOL:
+                return 0.0, (0,) * i
+            if i == 0:
+                # all constraints i>=1 were enforced on the way down; reaching
+                # here with suffix_cap < D_1 means constraint 1 was enforced
+                # at i==1 already, so this is unreachable, but guard anyway.
+                return math.inf, ()
+            key = (i, round(suffix_cap, 9))
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            w_min = _ceil_div(demands[i - 1] - suffix_cap, g[i - 1])
+            w_max = max(w_min, _ceil_div(d_top - suffix_cap, g[i - 1]))
+            best: tuple[float, tuple[int, ...]] = (math.inf, ())
+            for w in range(w_min, w_max + 1):
+                sub_cost, sub_counts = rec(i - 1, suffix_cap + w * g[i - 1])
+                cost = w * r[i - 1] + sub_cost
+                if cost < best[0] - _TOL:
+                    best = (cost, sub_counts + (w,))
+                if w * r[i - 1] >= best[0]:
+                    break  # buying more of type i alone already beats nothing
+            memo[key] = best
+            return best
+
+        best_cost, counts_rev = rec(m, 0.0)
+        if not math.isfinite(best_cost):
+            raise RuntimeError("optimal configuration search failed (infeasible?)")
+        # counts_rev is ordered (type 1, ..., type m) already: rec(i, .) returns
+        # a tuple of length i for types 1..i, appended from the bottom up.
+        best_counts = counts_rev
+        return OptimalConfig(counts=best_counts, rate=best_cost)
+
+
+def optimal_config(demands: Sequence[float], ladder: Ladder) -> OptimalConfig:
+    """One-shot convenience wrapper around :class:`ConfigSolver`."""
+    return ConfigSolver(ladder).solve(demands)

@@ -1,0 +1,57 @@
+"""Simpler lower bounds, for context and cross-checking.
+
+The Eq.-(1) bound is the paper's; two coarser classics are implemented here
+because they are what practitioners usually reach for, and because proving
+(in tests) that Eq. (1) dominates both on every instance is a meaningful
+validation of the optimal-configuration solver:
+
+- **span bound** — whenever any job is active, at least one machine is busy
+  and the cheapest rate is ``r_1``:   ``LB_span = len(U I(J)) * r_1``.
+- **volume bound** — every unit of demand must be served by *some* machine;
+  serving one unit for one time unit costs at least the best amortized rate
+  *among the types that can legally serve it* (a job of class ``c`` can only
+  run on types ``>= c``):
+  ``LB_vol = integral_t sum_c s(J_c, t) * min_{i >= c}(r_i / g_i) dt``.
+
+Both are valid lower bounds on OPT; ``lower_bound`` (Eq. 1) is provably at
+least as strong as each (see tests/lowerbound/test_simple.py).
+"""
+
+from __future__ import annotations
+
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+
+__all__ = ["span_bound", "volume_bound", "all_bounds"]
+
+
+def span_bound(jobs: JobSet, ladder: Ladder) -> float:
+    """``len(busy span) * r_1``."""
+    return jobs.busy_span().length * ladder.rate(1)
+
+
+def volume_bound(jobs: JobSet, ladder: Ladder) -> float:
+    """Class-aware volume bound (see module docstring)."""
+    total = 0.0
+    best_amortized_from = []
+    # best (smallest) amortized rate among types >= i, per class i
+    for i in range(1, ladder.m + 1):
+        best_amortized_from.append(
+            min(ladder.type(j).amortized_rate for j in range(i, ladder.m + 1))
+        )
+    for i, cls in enumerate(jobs.size_partition(ladder.capacities), start=1):
+        if cls.empty:
+            continue
+        total += cls.total_volume() * best_amortized_from[i - 1]
+    return total
+
+
+def all_bounds(jobs: JobSet, ladder: Ladder) -> dict[str, float]:
+    """All three lower bounds side by side (Eq. 1 last, always largest)."""
+    from .bound import lower_bound
+
+    return {
+        "span": span_bound(jobs, ladder),
+        "volume": volume_bound(jobs, ladder),
+        "eq1": lower_bound(jobs, ladder).value,
+    }

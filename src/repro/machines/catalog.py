@@ -1,0 +1,94 @@
+"""Ready-made machine ladders for experiments and examples.
+
+All DEC/INC constructors emit power-of-2 rates (Section II normal form), so
+the paper's constants apply without further normalization.  The EC2-like
+ladders use realistic pricing curvature and are *not* normal form — they
+exercise :func:`repro.machines.normalization.normalize` (E12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ladder import Ladder
+from .types import MachineType
+
+__all__ = [
+    "dec_ladder",
+    "inc_ladder",
+    "ec2_like_ladder",
+    "paper_fig2_ladder",
+    "random_general_ladder",
+    "single_type_ladder",
+]
+
+
+def single_type_ladder(capacity: float = 1.0, rate: float = 1.0) -> Ladder:
+    """The homogeneous (MinUsageTime DBP) special case."""
+    return Ladder([MachineType(capacity, rate)])
+
+
+def dec_ladder(m: int, *, cap_factor: float = 3.0, base_capacity: float = 1.0) -> Ladder:
+    """Normal-form BSHM-DEC ladder: capacities ``cap_factor^i`` and rates
+    ``2^i`` — amortized rate strictly decreasing when ``cap_factor > 2``."""
+    if cap_factor <= 2:
+        raise ValueError("cap_factor must exceed 2 for a strict DEC ladder")
+    return Ladder(
+        MachineType(base_capacity * cap_factor**i, 2.0**i) for i in range(m)
+    )
+
+
+def inc_ladder(m: int, *, cap_factor: float = 1.5, base_capacity: float = 1.0) -> Ladder:
+    """Normal-form BSHM-INC ladder: capacities ``cap_factor^i`` and rates
+    ``2^i`` — amortized rate strictly increasing when ``cap_factor < 2``."""
+    if not 1.0 < cap_factor < 2.0:
+        raise ValueError("cap_factor must lie in (1, 2) for a strict INC ladder")
+    return Ladder(
+        MachineType(base_capacity * cap_factor**i, 2.0**i) for i in range(m)
+    )
+
+
+def ec2_like_ladder(m: int = 5, *, price_exponent: float = 0.85) -> Ladder:
+    """EC2-style size family: capacities 1, 2, 4, … vCPU and price ~
+    ``capacity^price_exponent``.
+
+    ``price_exponent < 1`` gives volume discounts (DEC after normalization);
+    ``> 1`` gives a premium for big boxes (INC-leaning).  Not normal form —
+    pass through :func:`repro.machines.normalization.normalize` first.
+    """
+    caps = [2.0**i for i in range(m)]
+    return Ladder(MachineType(g, g**price_exponent) for g in caps)
+
+
+def paper_fig2_ladder() -> Ladder:
+    """An 8-type general ladder whose Section-V forest has 3 trees —
+    the structure of the paper's Fig. 2 example.
+
+    Amortized rates (4, 5, 3, 6, 7, 5.5, 8, 7.5) over capacities 1..128
+    produce trees {1,2,3} rooted at 3, {4,5,6} rooted at 6 and {7,8} rooted
+    at 8 (verified by the E9 bench).
+    """
+    caps = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+    rhos = [4.0, 5.0, 3.0, 6.0, 7.0, 5.5, 8.0, 7.5]
+    return Ladder(MachineType(g, g * rho) for g, rho in zip(caps, rhos))
+
+
+def random_general_ladder(
+    m: int,
+    rng: np.random.Generator,
+    *,
+    cap_factor_range: tuple[float, float] = (1.3, 3.5),
+    base_capacity: float = 1.0,
+) -> Ladder:
+    """Random mixed-regime ladder: capacity factors drawn per step; rates
+    follow a random walk constrained to stay strictly increasing."""
+    caps = [base_capacity]
+    for _ in range(m - 1):
+        caps.append(caps[-1] * rng.uniform(*cap_factor_range))
+    rates = [1.0]
+    for i in range(1, m):
+        # rate grows by a factor in (1, cap growth * 1.5): sometimes faster
+        # than capacity (INC step), sometimes slower (DEC step)
+        growth = rng.uniform(1.05, 1.5 * caps[i] / caps[i - 1])
+        rates.append(rates[-1] * max(growth, 1.05))
+    return Ladder(MachineType(g, r) for g, r in zip(caps, rates))

@@ -1,0 +1,112 @@
+"""Indexed machine pools for the online algorithms.
+
+DEC-ONLINE organizes machines into *groups* (A and B in the paper) with,
+per machine type, an optional bound on how many machines may be busy
+concurrently, a job-size admission limit (Group A type-``i`` machines accept
+only jobs of size ``<= g_i / 2``) and an optional one-job-at-a-time rule
+(Group B).  :class:`IndexedPool` implements one (group, type) cell:
+
+- machines carry increasing indices 1, 2, …; the *lowest-indexed* feasible
+  machine is always chosen (the paper's First-Fit rule);
+- an **empty** machine may only be (re)used while the number of busy
+  machines is below the concurrency budget;
+- a fresh machine (next index) is materialized on demand, so the pool is
+  conceptually infinite.
+"""
+
+from __future__ import annotations
+
+from ..schedule.schedule import MachineKey
+from .machine import OnlineMachine
+
+__all__ = ["IndexedPool", "FleetState"]
+
+_TOL = 1e-9
+
+
+class IndexedPool:
+    """All machines of one type within one group."""
+
+    __slots__ = (
+        "group",
+        "type_index",
+        "capacity",
+        "size_limit",
+        "budget",
+        "single_job",
+        "machines",
+    )
+
+    def __init__(
+        self,
+        group: str,
+        type_index: int,
+        capacity: float,
+        *,
+        size_limit: float | None = None,
+        budget: int | None = None,
+        single_job: bool = False,
+    ) -> None:
+        self.group = group
+        self.type_index = type_index
+        self.capacity = float(capacity)
+        #: largest admissible job size (defaults to the capacity)
+        self.size_limit = capacity if size_limit is None else float(size_limit)
+        #: max machines busy concurrently; None = unbounded
+        self.budget = budget
+        self.single_job = single_job
+        self.machines: list[OnlineMachine] = []
+
+    def busy_count(self) -> int:
+        return sum(1 for m in self.machines if m.busy)
+
+    def admits_size(self, size: float) -> bool:
+        return size <= self.size_limit + _TOL
+
+    def _machine_usable(self, machine: OnlineMachine, size: float, may_open: bool) -> bool:
+        if machine.busy:
+            return (not self.single_job) and machine.fits(size)
+        return may_open and machine.fits(size)
+
+    def first_fit(self, uid: int, size: float) -> OnlineMachine | None:
+        """Place on the lowest-indexed feasible machine; None if the size is
+        inadmissible or the concurrency budget blocks every option."""
+        if not self.admits_size(size):
+            return None
+        may_open = self.budget is None or self.busy_count() < self.budget
+        for machine in self.machines:
+            if self._machine_usable(machine, size, may_open):
+                machine.admit(uid, size)
+                return machine
+        if may_open:
+            machine = OnlineMachine(
+                MachineKey(self.type_index, (self.group, len(self.machines) + 1)),
+                self.capacity,
+            )
+            self.machines.append(machine)
+            machine.admit(uid, size)
+            return machine
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedPool({self.group}/T{self.type_index}, "
+            f"busy={self.busy_count()}, budget={self.budget})"
+        )
+
+
+class FleetState:
+    """Shared bookkeeping for online schedulers: job uid -> machine."""
+
+    __slots__ = ("placement",)
+
+    def __init__(self) -> None:
+        self.placement: dict[int, OnlineMachine] = {}
+
+    def record(self, uid: int, machine: OnlineMachine) -> MachineKey:
+        self.placement[uid] = machine
+        return machine.key
+
+    def depart(self, uid: int) -> None:
+        machine = self.placement.pop(uid)
+        machine.release(uid)

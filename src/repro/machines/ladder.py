@@ -1,0 +1,276 @@
+"""Machine-type ladders: ordered heterogeneous fleets and their structure.
+
+A :class:`Ladder` is the paper's sorted family ``g_1 < g_2 < … < g_m`` with
+``r_1 < r_2 < … < r_m`` (types dominated on both axes are rejected — footnote
+1 of the paper shows they are never needed).  The ladder knows:
+
+- its **regime** — DEC (``r_i/g_i`` non-increasing), INC (non-decreasing),
+  or GENERAL (mixed), which selects the applicable algorithms;
+- the Section-V **forest**: each node ``i`` points to the lowest-indexed type
+  ``j > i`` with ``r_i/g_i >= r_j/g_j``; roots have no such ``j``.
+
+The forest degenerates to a single path for DEC ladders and to ``m`` isolated
+roots for INC ladders, which unifies Sections III–V of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence
+
+from .types import MachineType
+
+__all__ = ["Regime", "Ladder", "TypeForest"]
+
+_REL_TOL = 1e-12
+
+
+class Regime(enum.Enum):
+    """Which case of BSHM a ladder falls into."""
+
+    DEC = "dec"  # amortized rate non-increasing with capacity
+    INC = "inc"  # amortized rate non-decreasing with capacity
+    GENERAL = "general"  # mixed
+
+
+class Ladder:
+    """A validated, sorted family of machine types.
+
+    Types are re-indexed 1..m on construction (paper convention).  Raises if
+    capacities are not strictly increasing, if rates are not strictly
+    increasing, or if any type is dominated (``g_i <= g_j`` and ``r_i >= r_j``
+    for ``i < j`` would make type ``i`` useless — the caller should prune it
+    via :func:`repro.machines.normalization.prune_dominated` first).
+    """
+
+    __slots__ = ("_types",)
+
+    def __init__(self, types: Iterable[MachineType]) -> None:
+        ordered = sorted(types, key=lambda t: t.capacity)
+        if not ordered:
+            raise ValueError("a ladder needs at least one machine type")
+        for a, b in zip(ordered[:-1], ordered[1:]):
+            if not (a.capacity < b.capacity):
+                raise ValueError(
+                    f"capacities must be strictly increasing, got {a.capacity} "
+                    f"then {b.capacity}"
+                )
+            if not (a.rate < b.rate):
+                raise ValueError(
+                    f"rates must be strictly increasing with capacity "
+                    f"(dominated type), got r={a.rate} then r={b.rate}"
+                )
+        object.__setattr__(
+            self,
+            "_types",
+            tuple(t.with_index(i) for i, t in enumerate(ordered, start=1)),
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Ladder is immutable")
+
+    @staticmethod
+    def from_pairs(pairs: Sequence[tuple[float, float]]) -> "Ladder":
+        """Build from ``(capacity, rate)`` pairs."""
+        return Ladder(MachineType(g, r) for g, r in pairs)
+
+    # -- access -------------------------------------------------------------
+    @property
+    def types(self) -> tuple[MachineType, ...]:
+        return self._types
+
+    @property
+    def m(self) -> int:
+        """Number of machine types."""
+        return len(self._types)
+
+    def type(self, i: int) -> MachineType:
+        """1-based access matching the paper's indexing."""
+        if not 1 <= i <= self.m:
+            raise IndexError(f"type index {i} out of range 1..{self.m}")
+        return self._types[i - 1]
+
+    @property
+    def capacities(self) -> tuple[float, ...]:
+        return tuple(t.capacity for t in self._types)
+
+    @property
+    def rates(self) -> tuple[float, ...]:
+        return tuple(t.rate for t in self._types)
+
+    def capacity(self, i: int) -> float:
+        """``g_i`` with the paper's convention ``g_0 = 0``."""
+        if i == 0:
+            return 0.0
+        return self.type(i).capacity
+
+    def rate(self, i: int) -> float:
+        """The cost rate ``r_i`` (1-based index)."""
+        return self.type(i).rate
+
+    def smallest_fitting(self, size: float) -> int:
+        """The 1-based index of the smallest type with ``g_i >= size``."""
+        for t in self._types:
+            if t.fits(size):
+                return t.index
+        raise ValueError(f"no machine type fits size {size}")
+
+    def fits(self, size: float) -> bool:
+        """Whether the largest type can host a job of this size."""
+        return size <= self._types[-1].capacity
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def is_dec(self) -> bool:
+        """Whether ``r_i/g_i`` is non-increasing (BSHM-DEC applies)."""
+        rates = [t.amortized_rate for t in self._types]
+        return all(a >= b * (1 - _REL_TOL) for a, b in zip(rates[:-1], rates[1:]))
+
+    @property
+    def is_inc(self) -> bool:
+        """Whether ``r_i/g_i`` is non-decreasing (BSHM-INC applies)."""
+        rates = [t.amortized_rate for t in self._types]
+        return all(a <= b * (1 + _REL_TOL) for a, b in zip(rates[:-1], rates[1:]))
+
+    @property
+    def regime(self) -> Regime:
+        """Primary regime label (a constant-amortized ladder reports DEC but
+        also satisfies :attr:`is_inc`)."""
+        if self.is_dec:
+            return Regime.DEC
+        if self.is_inc:
+            return Regime.INC
+        return Regime.GENERAL
+
+    def forest(self) -> "TypeForest":
+        """The Section-V forest over this ladder's types."""
+        return TypeForest(self)
+
+    def is_power_of_two_rates(self) -> bool:
+        """Whether every ``r_i`` is ``r_1 · 2^k`` (Section II normal form)."""
+        base = self._types[0].rate
+        for t in self._types:
+            q = t.rate / base
+            k = round(q).bit_length() - 1 if q >= 1 else -1
+            if k < 0 or abs(q - (1 << k)) > 1e-9 * q:
+                return False
+        return True
+
+    # -- dunder ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[MachineType]:
+        return iter(self._types)
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ladder) and self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash(self._types)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"(g={t.capacity:g}, r={t.rate:g})" for t in self._types)
+        return f"Ladder[{self.regime.value}]({body})"
+
+
+class TypeForest:
+    """The forest over machine types from Section V of the paper.
+
+    ``parent[i]`` (1-based dict) is the lowest-indexed type ``j > i`` with
+    ``r_i/g_i >= r_j/g_j``, or ``None`` when no such type exists (``i`` is a
+    root).  The paper proves each tree spans a consecutive index range and is
+    rooted at its highest index; both facts are validated here.
+    """
+
+    __slots__ = ("ladder", "parent", "children", "roots")
+
+    def __init__(self, ladder: Ladder) -> None:
+        parent: dict[int, int | None] = {}
+        children: dict[int, list[int]] = {i: [] for i in range(1, ladder.m + 1)}
+        for i in range(1, ladder.m + 1):
+            rho_i = ladder.type(i).amortized_rate
+            parent[i] = None
+            for j in range(i + 1, ladder.m + 1):
+                if rho_i >= ladder.type(j).amortized_rate * (1 - _REL_TOL):
+                    parent[i] = j
+                    children[j].append(i)
+                    break
+        roots = tuple(i for i in range(1, ladder.m + 1) if parent[i] is None)
+        object.__setattr__(self, "ladder", ladder)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "children", {k: tuple(v) for k, v in children.items()})
+        object.__setattr__(self, "roots", roots)
+        self._validate()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TypeForest is immutable")
+
+    def _validate(self) -> None:
+        for i in range(1, self.ladder.m + 1):
+            span = self.subtree_span(i)
+            got = tuple(sorted(self.subtree(i)))
+            want = tuple(range(span[0], span[1] + 1))
+            if got != want:
+                raise AssertionError(
+                    f"forest subtree at {i} is not a consecutive range: {got}"
+                )
+
+    # -- queries --------------------------------------------------------------
+    def subtree(self, i: int) -> list[int]:
+        """All nodes in the tree/subtree rooted at ``i`` (including ``i``)."""
+        out: list[int] = []
+        stack = [i]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(self.children[node])
+        return out
+
+    def subtree_span(self, i: int) -> tuple[int, int]:
+        """``(lo, hi)`` index range covered by the subtree rooted at ``i``."""
+        nodes = self.subtree(i)
+        return min(nodes), max(nodes)
+
+    def path_to_root(self, i: int) -> list[int]:
+        """``i``, its parent, …, up to the tree root."""
+        path = [i]
+        while (p := self.parent[path[-1]]) is not None:
+            path.append(p)
+        return path
+
+    def postorder(self) -> list[int]:
+        """All nodes, children before parents, trees left to right."""
+        out: list[int] = []
+
+        def visit(node: int) -> None:
+            for child in self.children[node]:
+                visit(child)
+            out.append(node)
+
+        for root in self.roots:
+            visit(root)
+        return out
+
+    def num_children(self, i: int) -> int:
+        """``|C(i)|`` in the paper's Section V budget formula."""
+        return len(self.children[i])
+
+    def processing_path(self, size_class: int) -> list[int]:
+        """Section V association: a job of size class ``c`` (size in
+        ``(g_{c-1}, g_c]``) belongs to ``J_j`` exactly for the nodes ``j``
+        whose subtree span contains ``c`` — i.e. the ancestors-or-self of
+        node ``c``.  In the post-order offline traversal the job is first
+        considered at node ``c`` and, if left unscheduled, bubbles up this
+        path toward the root.
+        """
+        if not 1 <= size_class <= self.ladder.m:
+            raise ValueError(f"size class {size_class} out of range")
+        return self.path_to_root(size_class)
+
+    def __repr__(self) -> str:
+        parts = []
+        for root in self.roots:
+            lo, hi = self.subtree_span(root)
+            parts.append(f"tree[{lo}..{hi}]@{root}")
+        return f"TypeForest({', '.join(parts)})"

@@ -1,0 +1,55 @@
+"""Mutable machine state for online simulation.
+
+Online schedulers track, per physical machine, the set of resident jobs and
+the current load.  Cost is *not* accumulated here — the resulting
+:class:`~repro.schedule.schedule.Schedule` recomputes busy time exactly from
+the final assignment — so this class only answers "can this job fit now?".
+"""
+
+from __future__ import annotations
+
+from ..schedule.schedule import MachineKey
+
+__all__ = ["OnlineMachine"]
+
+_TOL = 1e-9
+
+
+class OnlineMachine:
+    """One physical machine during an online run."""
+
+    __slots__ = ("key", "capacity", "resident", "load")
+
+    def __init__(self, key: MachineKey, capacity: float) -> None:
+        self.key = key
+        self.capacity = float(capacity)
+        self.resident: dict[int, float] = {}  # job uid -> size
+        self.load = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.resident)
+
+    @property
+    def empty(self) -> bool:
+        return not self.resident
+
+    def fits(self, size: float) -> bool:
+        return self.load + size <= self.capacity + _TOL
+
+    def admit(self, uid: int, size: float) -> None:
+        if not self.fits(size):
+            raise ValueError(f"machine {self.key} cannot fit size {size}")
+        if uid in self.resident:
+            raise ValueError(f"job {uid} already on machine {self.key}")
+        self.resident[uid] = size
+        self.load += size
+
+    def release(self, uid: int) -> None:
+        size = self.resident.pop(uid)
+        self.load -= size
+        if self.empty:
+            self.load = 0.0  # kill float residue when idle
+
+    def __repr__(self) -> str:
+        return f"OnlineMachine({self.key}, load={self.load:g}/{self.capacity:g}, jobs={len(self.resident)})"

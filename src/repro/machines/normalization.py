@@ -1,0 +1,126 @@
+"""Section II preprocessing: dominated-type pruning and power-of-2 rates.
+
+The paper assumes WLOG that
+
+1. no type is *dominated* (``g_i <= g_j`` with ``r_i >= r_j`` for some
+   ``j > i`` makes type ``i`` useless — footnote 1), and
+2. every rate is a power of two after normalizing ``r_1`` to 1; this is
+   arranged by rounding each normalized rate up to the next power of two and
+   deleting the lower-indexed type of any resulting duplicate pair.  The
+   paper shows the transformation costs at most a factor of 2 in any
+   approximation/competitive ratio.
+
+:func:`normalize` performs the full pipeline and returns a
+:class:`Normalization` that remembers the mapping from surviving normalized
+types back to original types, so schedules computed on the normalized ladder
+can be *realized* (and priced) on the original one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .ladder import Ladder
+from .types import MachineType
+
+__all__ = ["Normalization", "prune_dominated", "normalize"]
+
+
+def prune_dominated(types: list[MachineType]) -> list[MachineType]:
+    """Remove types dominated by a type of equal-or-larger capacity and
+    equal-or-smaller rate (footnote 1 of the paper).
+
+    The result has strictly increasing capacities and strictly increasing
+    rates and is therefore a valid :class:`Ladder` input.
+    """
+    ordered = sorted(types, key=lambda t: (t.capacity, t.rate))
+    kept: list[MachineType] = []
+    for t in ordered:
+        # drop previously kept types that the new one dominates
+        while kept and kept[-1].rate >= t.rate:
+            kept.pop()
+        # skip t if it's a duplicate capacity of the kept predecessor
+        if kept and kept[-1].capacity == t.capacity:
+            continue  # same capacity, higher rate: dominated
+        kept.append(t)
+    return kept
+
+
+@dataclass(frozen=True, slots=True)
+class Normalization:
+    """Result of the Section-II transformation.
+
+    Attributes
+    ----------
+    original:
+        The input ladder (already dominance-free).
+    normalized:
+        The surviving ladder whose rates are exact powers of two (scaled so
+        the smallest surviving rate is a power of two times ``r_1``).
+    to_original:
+        For each 1-based normalized type index, the 1-based index of the
+        original type it stands for.  Costs charged at the normalized rate
+        ``2^k`` over-estimate the original cost (rounding was upward), so a
+        schedule on the normalized ladder is feasible and at most 2x more
+        expensive on the original ladder.
+    """
+
+    original: Ladder
+    normalized: Ladder
+    to_original: tuple[int, ...]
+
+    def realize_rate(self, normalized_index: int) -> float:
+        """The *original* rate of the machine a normalized type stands for."""
+        return self.original.rate(self.to_original[normalized_index - 1])
+
+    def realize_capacity(self, normalized_index: int) -> float:
+        """The original capacity behind a normalized type (unchanged by normalization)."""
+        return self.original.capacity(self.to_original[normalized_index - 1])
+
+    def realize_schedule(self, schedule: "Schedule") -> "Schedule":
+        """Re-express a schedule computed on the normalized ladder as a
+        schedule over the *original* ladder (same machines, original rates).
+
+        Capacities of the surviving types are unchanged, so feasibility
+        carries over verbatim; the realized cost is at most the normalized
+        cost (rounding was upward) and at least half of it.
+        """
+        from ..schedule.schedule import MachineKey, Schedule
+
+        mapping = {
+            job: MachineKey(self.to_original[key.type_index - 1], key.tag)
+            for job, key in schedule.assignment.items()
+        }
+        return Schedule(self.original, mapping)
+
+
+def _round_up_pow2(x: float) -> float:
+    """Smallest power of two ``>= x`` (x > 0)."""
+    if x <= 0:
+        raise ValueError("x must be positive")
+    k = math.ceil(math.log2(x) - 1e-12)
+    return float(2.0**k)
+
+
+def normalize(ladder: Ladder) -> Normalization:
+    """Apply the paper's power-of-2 transformation to a ladder.
+
+    Rates are divided by ``r_1``, rounded up to powers of two, and for every
+    run of equal rounded rates only the *highest-capacity* type survives
+    (the paper deletes the lower-indexed duplicate).  Surviving rates are
+    multiplied back by ``r_1`` so costs stay in original units.
+    """
+    base = ladder.rate(1)
+    rounded = [_round_up_pow2(t.rate / base) for t in ladder.types]
+    survivors: list[tuple[MachineType, float, int]] = []  # (type, new_rate, orig idx)
+    for orig_idx, (t, pow2) in enumerate(zip(ladder.types, rounded), start=1):
+        new_rate = pow2 * base
+        if survivors and survivors[-1][1] == new_rate:
+            survivors.pop()  # lower-capacity duplicate is deleted
+        survivors.append((t, new_rate, orig_idx))
+    normalized = Ladder(
+        MachineType(t.capacity, new_rate) for t, new_rate, _ in survivors
+    )
+    to_original = tuple(orig_idx for _, _, orig_idx in survivors)
+    return Normalization(original=ladder, normalized=normalized, to_original=to_original)

@@ -1,0 +1,86 @@
+"""Catalogue curation: which machine types are worth enabling?
+
+Cloud accounts typically enable a *subset* of the provider's instance
+types.  Given a workload and a full catalogue, :func:`recommend_subset`
+searches the non-empty subsets of types (every subset must still fit the
+largest job) and returns the one minimizing the chosen cost estimate:
+
+- ``estimate="lower_bound"`` (default) — the Eq.-(1) lower bound of the
+  sub-ladder: fast, algorithm-independent, and exact in the fluid relaxed
+  sense;
+- ``estimate="schedule"`` — actually run the regime-appropriate offline
+  algorithm on each sub-ladder (slower, reflects algorithmic reality).
+
+Fewer enabled types can *reduce* real cost (pruning a tempting-but-wasteful
+middle size changes where the algorithms put jobs), which makes this a
+genuinely non-trivial knob; the tests exhibit both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..jobs.jobset import JobSet
+from .ladder import Ladder
+
+__all__ = ["Recommendation", "recommend_subset"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """Best sub-ladder found and the full ranking."""
+
+    ladder: Ladder
+    cost: float
+    enabled_indices: tuple[int, ...]  # 1-based indices into the full ladder
+    ranking: tuple[tuple[tuple[int, ...], float], ...]  # all evaluated subsets
+
+
+def _subset_cost(jobs: JobSet, sub: Ladder, estimate: str) -> float:
+    if estimate == "lower_bound":
+        from ..lowerbound.bound import lower_bound
+
+        return lower_bound(jobs, sub).value
+    if estimate == "schedule":
+        from ..offline.general_offline import general_offline
+
+        return general_offline(jobs, sub).cost()
+    raise ValueError(f"unknown estimate {estimate!r}")
+
+
+def recommend_subset(
+    jobs: JobSet,
+    catalogue: Ladder,
+    *,
+    estimate: str = "lower_bound",
+    max_types: int | None = None,
+) -> Recommendation:
+    """Exhaustively rank feasible type subsets (catalogue.m <= ~10).
+
+    ``max_types`` optionally caps the subset size (e.g. "we will only manage
+    3 instance types").
+    """
+    if catalogue.m > 12:
+        raise ValueError("exhaustive subset search is limited to 12 types")
+    need = jobs.max_size
+    indices = list(range(1, catalogue.m + 1))
+    results: list[tuple[tuple[int, ...], float]] = []
+    limit = max_types if max_types is not None else catalogue.m
+    for k in range(1, limit + 1):
+        for combo in combinations(indices, k):
+            types = [catalogue.type(i) for i in combo]
+            if need > 0 and max(t.capacity for t in types) < need:
+                continue  # largest job does not fit
+            sub = Ladder(types)
+            results.append((combo, _subset_cost(jobs, sub, estimate)))
+    if not results:
+        raise ValueError("no feasible subset fits the largest job")
+    results.sort(key=lambda item: (item[1], len(item[0])))
+    best_combo, best_cost = results[0]
+    return Recommendation(
+        ladder=Ladder(catalogue.type(i) for i in best_combo),
+        cost=best_cost,
+        enabled_indices=best_combo,
+        ranking=tuple(results),
+    )

@@ -1,0 +1,67 @@
+"""Machine types: capacity + busy-time cost rate.
+
+A type-``i`` machine has capacity ``g_i`` and is charged ``r_i`` per unit of
+time while it runs at least one job.  Types are value objects; ladders
+(ordered collections of types) live in :mod:`repro.machines.ladder`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["MachineType"]
+
+
+class MachineType:
+    """A machine type ``(g, r)``.
+
+    ``amortized_rate`` is the paper's ``r_i / g_i`` — the cost per resource
+    unit per time unit, which determines the DEC/INC regime.
+    """
+
+    __slots__ = ("capacity", "rate", "index")
+
+    def __init__(self, capacity: float, rate: float, index: int = -1) -> None:
+        capacity = float(capacity)
+        rate = float(rate)
+        if not (capacity > 0 and math.isfinite(capacity)):
+            raise ValueError(f"capacity must be positive and finite, got {capacity}")
+        if not (rate > 0 and math.isfinite(rate)):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        object.__setattr__(self, "capacity", capacity)
+        object.__setattr__(self, "rate", rate)
+        object.__setattr__(self, "index", int(index))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MachineType is immutable")
+
+    @property
+    def amortized_rate(self) -> float:
+        """``r / g`` — busy cost per resource unit per time unit."""
+        return self.rate / self.capacity
+
+    def fits(self, size: float) -> bool:
+        """Whether a job of the given size fits on this type at all."""
+        return size <= self.capacity
+
+    def with_index(self, index: int) -> "MachineType":
+        """Copy of this type carrying the given 1-based ladder index."""
+        return MachineType(self.capacity, self.rate, index)
+
+    def with_rate(self, rate: float) -> "MachineType":
+        """Copy of this type with a different cost rate."""
+        return MachineType(self.capacity, rate, self.index)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MachineType)
+            and self.capacity == other.capacity
+            and self.rate == other.rate
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.capacity, self.rate, self.index))
+
+    def __repr__(self) -> str:
+        return f"MachineType(i={self.index}, g={self.capacity:g}, r={self.rate:g})"

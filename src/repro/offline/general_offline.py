@@ -1,0 +1,93 @@
+"""GEN-OFFLINE: the Section-V algorithm for general BSHM ladders.
+
+The machine types form a forest (:class:`~repro.machines.ladder.TypeForest`):
+``parent(i)`` is the lowest-indexed type ``j > i`` whose amortized rate is at
+most type ``i``'s.  Jobs are scheduled by traversing the forest in
+post-order.  At node ``j``:
+
+- collect the not-yet-scheduled jobs of ``J_j`` — size in
+  ``(g_{lo(j)-1}, g_j]`` where the subtree rooted at ``j`` spans
+  ``lo(j)..j``;
+- place them in a demand chart and slice into strips of height ``g_j / 2``;
+- if ``j`` is a tree root, schedule everything (unbounded strips);
+- otherwise schedule the jobs touching the bottom
+  ``B_j = ceil(r_k / (r_j * sqrt(|C(k)|)))`` strips onto type-``j`` machines
+  (``k`` = parent, ``|C(k)|`` = its child count) and pass the rest to ``k``.
+
+The paper conjectures an ``O(sqrt(m))`` approximation; E5 measures the
+empirical shape.  On a DEC ladder the forest is a path and this reduces to a
+DEC-OFFLINE variant; on an INC ladder every node is a root and the algorithm
+coincides with INC-OFFLINE exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..jobs.job import Job
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..placement.greedy import place_jobs
+from ..placement.strips import split_into_strips, two_color
+from ..schedule.schedule import MachineKey, Schedule
+from .dual_coloring import dual_coloring_assign
+
+__all__ = ["general_offline", "node_strip_budget"]
+
+
+def node_strip_budget(ladder: Ladder, node: int, parent: int, siblings: int) -> int:
+    """``ceil((1 / sqrt(|C(k)|)) * r_k / r_j)`` strips for a non-root node."""
+    ratio = ladder.rate(parent) / ladder.rate(node)
+    return max(1, math.ceil(ratio / math.sqrt(siblings) - 1e-9))
+
+
+def general_offline(jobs: JobSet, ladder: Ladder) -> Schedule:
+    """Run GEN-OFFLINE on an instance over an arbitrary ladder."""
+    if not jobs.empty and not ladder.fits(jobs.max_size):
+        raise ValueError("an instance job exceeds the largest machine capacity")
+
+    forest = ladder.forest()
+    capacities = ladder.capacities
+    assignment: dict[Job, MachineKey] = {}
+    remaining = jobs
+
+    for j in forest.postorder():
+        lo, hi = forest.subtree_span(j)
+        assert hi == j, "subtree roots carry the highest index of their span"
+        g_lo_prev = ladder.capacity(lo - 1)
+        g_j = ladder.capacity(j)
+        eligible = remaining.filter(lambda job: g_lo_prev < job.size <= g_j)
+        if eligible.empty:
+            continue
+
+        parent = forest.parent[j]
+        if parent is None:
+            # tree root: schedule everything on type j, unbounded strips
+            assignment.update(
+                dual_coloring_assign(eligible, g_j, j, tag_prefix=("node", j))
+            )
+            remaining = remaining.minus(eligible)
+            continue
+
+        placement = place_jobs(eligible)
+        strips = split_into_strips(placement, g_j / 2.0)
+        budget = node_strip_budget(ladder, j, parent, forest.num_children(parent))
+        inside_pairs, crossing_pairs = strips.bands_touching_bottom(budget)
+
+        for k, band in inside_pairs:
+            assignment[band.job] = MachineKey(j, ("node", j, "strip", k))
+        by_boundary: dict[int, list] = {}
+        for k, band in crossing_pairs:
+            by_boundary.setdefault(k, []).append(band)
+        for k, bands in by_boundary.items():
+            colors = two_color(bands)
+            for band in bands:
+                assignment[band.job] = MachineKey(
+                    j, ("node", j, "cross", k, colors[band.job])
+                )
+        scheduled_now = JobSet(band.job for _, band in inside_pairs + crossing_pairs)
+        remaining = remaining.minus(scheduled_now)
+
+    if not remaining.empty:  # pragma: no cover - every job reaches some root
+        raise RuntimeError("GEN-OFFLINE left jobs unscheduled")
+    return Schedule(ladder, assignment)

@@ -1,0 +1,106 @@
+"""Clairvoyant online scheduling: departure times revealed at arrival.
+
+The paper's related work contrasts the non-clairvoyant setting (this
+paper's Theorem 2, lower bound Omega(mu) [11]) with the clairvoyant setting
+where Azar & Vainstein [5] achieve Theta(sqrt(log mu)) for the homogeneous
+problem.  As an extension we implement the classical *duration-classified
+First-Fit*: jobs are grouped into geometric duration classes
+``[2^k d_min, 2^(k+1) d_min)`` and each class is packed First-Fit on its own
+machines.  Within one class mu is at most 2, so the non-clairvoyant
+First-Fit bound (mu + 3) gives at most 5 per class — the classification
+trades a log(mu) factor for mu.  On heterogeneous DEC ladders we layer the
+classification on top of the DEC-ONLINE type selection.
+
+A separate :func:`run_clairvoyant` engine entry point passes full job
+objects (including departures) to clairvoyant schedulers, keeping the
+non-clairvoyant engine's `JobView` guarantee intact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..jobs.job import Job
+from ..jobs.jobset import JobSet
+from ..core.events import EventKind, event_stream
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey, Schedule
+
+__all__ = ["ClairvoyantScheduler", "DurationClassScheduler", "run_clairvoyant"]
+
+
+class ClairvoyantScheduler:
+    """Protocol-by-convention: ``on_arrival(job: Job)`` sees departures."""
+
+    ladder: Ladder
+
+    def on_arrival(self, job: Job) -> MachineKey:  # pragma: no cover - interface
+
+        """Place into the (size class, duration class) First-Fit pool."""
+        raise NotImplementedError
+
+    def on_departure(self, uid: int) -> None:  # pragma: no cover - interface
+
+        """Release the departed job's capacity."""
+        raise NotImplementedError
+
+
+def run_clairvoyant(jobs: JobSet, scheduler) -> Schedule:
+    """Replay the instance, revealing each job's departure at its arrival."""
+    assignment = {}
+    for event in event_stream(jobs):
+        if event.kind is EventKind.ARRIVE:
+            key = scheduler.on_arrival(event.job)
+            if not isinstance(key, MachineKey):
+                raise TypeError("scheduler must return a MachineKey")
+            assignment[event.job] = key
+        else:
+            scheduler.on_departure(event.job.uid)
+    return Schedule(scheduler.ladder, assignment)
+
+
+class DurationClassScheduler(ClairvoyantScheduler):
+    """Duration-classified First-Fit over a ladder.
+
+    Jobs are keyed by ``(size class, duration class)``; each key gets its own
+    unbounded First-Fit pool on the smallest fitting machine type.  The
+    duration class of a job is ``floor(log2(duration / base))`` where
+    ``base`` is a caller-supplied (or first-seen) minimum duration estimate.
+
+    On homogeneous ladders this is the classical clairvoyant DBP strategy;
+    heterogeneous ladders inherit the INC-style per-size-class separation.
+    """
+
+    def __init__(self, ladder: Ladder, *, base_duration: float | None = None) -> None:
+        self.ladder = ladder
+        self.state = FleetState()
+        self.pools: dict[tuple[int, int], IndexedPool] = {}
+        self._base = base_duration
+
+    def _duration_class(self, duration: float) -> int:
+        if self._base is None:
+            # first arrival pins the base; later shorter jobs get negative
+            # classes, which is fine (classes are just dict keys)
+            self._base = duration
+        return int(math.floor(math.log2(duration / self._base) + 1e-12))
+
+    def on_arrival(self, job: Job) -> MachineKey:
+        size_class = job.size_class(self.ladder.capacities)
+        dur_class = self._duration_class(job.duration)
+        key = (size_class, dur_class)
+        pool = self.pools.get(key)
+        if pool is None:
+            pool = IndexedPool(
+                f"T{size_class}D{dur_class}",
+                size_class,
+                self.ladder.capacity(size_class),
+                budget=None,
+            )
+            self.pools[key] = pool
+        machine = pool.first_fit(job.uid, job.size)
+        assert machine is not None  # unbounded pool, size fits its class
+        return self.state.record(job.uid, machine)
+
+    def on_departure(self, uid: int) -> None:
+        self.state.depart(uid)

@@ -1,0 +1,114 @@
+"""DEC-ONLINE: the 32(μ+1)-competitive algorithm for BSHM-DEC (Theorem 2).
+
+Two machine groups per type:
+
+- **Group A** type-``i`` machines admit only jobs of size ``<= g_i / 2`` and
+  pack them First-Fit (lowest index first);
+- **Group B** type-``i`` machines host **one job at a time**, reserved for
+  jobs of size in ``(g_i / 2, g_i]``.
+
+In each group at most ``4 (r_{i+1}/r_i - 1)`` type-``i`` machines
+(``i < m``) may be busy concurrently; type ``m`` is unbounded.
+
+Placement rule for an arriving job ``J`` of size class ``i``
+(``s(J) in (g_{i-1}, g_i]``):
+
+- if ``s(J) > g_i / 2``: take the lowest-indexed *empty* Group-B type-``i``
+  machine if the budget allows, otherwise First-Fit through Group A on types
+  ``i+1, i+2, …``;
+- else (``s(J) <= g_i / 2``): First-Fit through Group A on types
+  ``i, i+1, …``.
+
+Because the type-``m`` pools are unbounded, a placement always exists.  For
+ladders outside Section-II normal form a final Group-B fallback on higher
+types keeps the scheduler total (documented deviation; the competitive bound
+assumes normal form).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey
+from .engine import JobView
+
+__all__ = ["DecOnlineScheduler", "group_budget"]
+
+
+def group_budget(rate_ratio: float, factor: float = 4.0) -> int:
+    """Per-group concurrency budget ``factor * (r_{i+1}/r_i - 1)``.
+
+    Integral for power-of-2 rates; rounded up otherwise.  ``factor`` is the
+    E10 ablation knob (the paper uses 4).
+    """
+    if rate_ratio <= 1:
+        raise ValueError("rate ratio must exceed 1 between consecutive types")
+    return max(1, math.ceil(factor * (rate_ratio - 1.0) - 1e-9))
+
+
+class DecOnlineScheduler:
+    """The Group-A/Group-B First-Fit scheduler of Section III-B."""
+
+    def __init__(self, ladder: Ladder, *, budget_factor: float = 4.0) -> None:
+        self.ladder = ladder
+        self.state = FleetState()
+        self.group_a: dict[int, IndexedPool] = {}
+        self.group_b: dict[int, IndexedPool] = {}
+        for i in range(1, ladder.m + 1):
+            if i < ladder.m:
+                budget = group_budget(ladder.rate(i + 1) / ladder.rate(i), budget_factor)
+            else:
+                budget = None
+            g = ladder.capacity(i)
+            self.group_a[i] = IndexedPool(
+                "A", i, g, size_limit=g / 2.0, budget=budget
+            )
+            self.group_b[i] = IndexedPool(
+                "B", i, g, budget=budget, single_job=True
+            )
+
+    # -- scheduler protocol -------------------------------------------------
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """Apply the Group-A/Group-B placement rule of Section III-B."""
+        i = self._size_class(job.size)
+        g_i = self.ladder.capacity(i)
+        if job.size > g_i / 2.0:
+            machine = self.group_b[i].first_fit(job.uid, job.size)
+            if machine is not None:
+                return self.state.record(job.uid, machine)
+            start = i + 1
+        else:
+            start = i
+        # First-Fit upward through Group A
+        for j in range(start, self.ladder.m + 1):
+            machine = self.group_a[j].first_fit(job.uid, job.size)
+            if machine is not None:
+                return self.state.record(job.uid, machine)
+        # Non-normal-form fallback: Group B upward (type m is unbounded, and
+        # every job fits g_m, so this always terminates successfully).
+        for j in range(i + 1, self.ladder.m + 1):
+            machine = self.group_b[j].first_fit(job.uid, job.size)
+            if machine is not None:
+                return self.state.record(job.uid, machine)
+        raise RuntimeError("DEC-ONLINE failed to place a job; ladder invalid?")
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)
+
+    # -- internals ---------------------------------------------------------
+    def _size_class(self, size: float) -> int:
+        for i in range(1, self.ladder.m + 1):
+            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+                return i
+        raise ValueError(f"size {size} exceeds the largest capacity")
+
+    def busy_counts(self) -> dict[tuple[str, int], int]:
+        """Diagnostics: concurrently busy machines per (group, type)."""
+        out = {}
+        for i in range(1, self.ladder.m + 1):
+            out[("A", i)] = self.group_a[i].busy_count()
+            out[("B", i)] = self.group_b[i].busy_count()
+        return out

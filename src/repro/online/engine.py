@@ -1,0 +1,68 @@
+"""The non-clairvoyant online simulation engine.
+
+The engine replays an instance's arrival/departure events in time order and
+drives an :class:`OnlineScheduler`.  Non-clairvoyance is enforced
+structurally: the scheduler only ever sees a :class:`JobView` — size,
+arrival time, uid — never the departure time.  Departures are delivered as
+they happen, after which the capacity they held is reusable (half-open
+interval semantics: a departure at ``t`` precedes an arrival at ``t``).
+
+The result is an ordinary :class:`~repro.schedule.schedule.Schedule`, so
+online and offline algorithms are costed and validated identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..core.events import EventKind, event_stream
+from ..jobs.jobset import JobSet
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey, Schedule
+
+__all__ = ["JobView", "OnlineScheduler", "run_online"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobView:
+    """What a non-clairvoyant scheduler is allowed to know at arrival."""
+
+    uid: int
+    size: float
+    arrival: float
+    name: str
+
+
+class OnlineScheduler(Protocol):
+    """The contract an online algorithm implements."""
+
+    ladder: Ladder
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """Choose a machine for the arriving job, immediately and irrevocably."""
+        ...
+
+    def on_departure(self, uid: int) -> None:
+        """Release the job's capacity."""
+        ...
+
+
+def run_online(jobs: JobSet, scheduler: OnlineScheduler) -> Schedule:
+    """Replay the instance through the scheduler and collect the schedule."""
+    assignment = {}
+    for event in event_stream(jobs):
+        if event.kind is EventKind.ARRIVE:
+            view = JobView(
+                uid=event.job.uid,
+                size=event.job.size,
+                arrival=event.job.arrival,
+                name=event.job.name,
+            )
+            key = scheduler.on_arrival(view)
+            if not isinstance(key, MachineKey):
+                raise TypeError("scheduler must return a MachineKey")
+            assignment[event.job] = key
+        else:
+            scheduler.on_departure(event.job.uid)
+    return Schedule(scheduler.ladder, assignment)

@@ -1,0 +1,42 @@
+"""Homogeneous First-Fit ([14]) — the (μ+3)-competitive building block.
+
+First-Fit on a single machine type: place each arriving job on the
+lowest-indexed machine with enough residual capacity, opening a fresh machine
+when none fits.  This is the per-class engine inside INC-ONLINE and a
+baseline in its own right (run on the smallest type that fits everything).
+"""
+
+from __future__ import annotations
+
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey
+from .engine import JobView
+
+__all__ = ["FirstFitScheduler"]
+
+
+class FirstFitScheduler:
+    """First-Fit on one fixed type of a ladder."""
+
+    def __init__(self, ladder: Ladder, type_index: int) -> None:
+        self.ladder = ladder
+        self.type_index = type_index
+        self.pool = IndexedPool(
+            "FF", type_index, ladder.capacity(type_index), budget=None
+        )
+        self.state = FleetState()
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """First-Fit on the pool of this type."""
+        machine = self.pool.first_fit(job.uid, job.size)
+        if machine is None:
+            raise ValueError(
+                f"job {job.name} (size {job.size:g}) does not fit type "
+                f"{self.type_index} (capacity {self.pool.capacity:g})"
+            )
+        return self.state.record(job.uid, machine)
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)

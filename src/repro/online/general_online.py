@@ -1,0 +1,88 @@
+"""GEN-ONLINE: our concrete instantiation of the Section-V online sketch.
+
+The paper only says the general online algorithm "follows the style of
+DEC-ONLINE" over the type forest and conjectures ``O(sqrt(m) · μ)``
+competitiveness.  Our instantiation (documented as a substitution in
+DESIGN.md):
+
+- every forest node ``j`` owns Group-A and Group-B pools of type-``j``
+  machines, exactly as in DEC-ONLINE;
+- a non-root node's per-group concurrency budget is
+  ``2 * ceil(r_k / (r_j * sqrt(|C(k)|)))`` with ``k`` its parent — the
+  online analogue of GEN-OFFLINE's bottom-strip budget (the DEC-ONLINE
+  budget ``4 (r_{i+1}/r_i - 1)`` plays this role on path forests);
+- root nodes are unbounded;
+- an arriving job of size class ``c`` walks the path
+  ``c → parent(c) → … → root``; at each node ``j`` it tries Group B when
+  ``s(J) > g_j / 2`` and Group A otherwise, settling at the first success.
+  The root always succeeds.
+
+On an INC ladder every node is a root, so this degenerates to INC-ONLINE;
+on a normalized DEC ladder the walk order matches DEC-ONLINE's type order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey
+from .engine import JobView
+
+__all__ = ["GeneralOnlineScheduler", "node_group_budget"]
+
+
+def node_group_budget(ladder: Ladder, node: int, parent: int, siblings: int) -> int:
+    """``2 * ceil(r_k / (r_j * sqrt(|C(k)|)))`` for a non-root node."""
+    ratio = ladder.rate(parent) / ladder.rate(node)
+    return max(1, 2 * math.ceil(ratio / math.sqrt(siblings) - 1e-9))
+
+
+class GeneralOnlineScheduler:
+    """Forest-guided Group-A/Group-B First-Fit."""
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self.forest = ladder.forest()
+        self.state = FleetState()
+        self.group_a: dict[int, IndexedPool] = {}
+        self.group_b: dict[int, IndexedPool] = {}
+        for j in range(1, ladder.m + 1):
+            parent = self.forest.parent[j]
+            if parent is None:
+                budget = None
+            else:
+                budget = node_group_budget(
+                    ladder, j, parent, self.forest.num_children(parent)
+                )
+            g = ladder.capacity(j)
+            self.group_a[j] = IndexedPool("A", j, g, size_limit=g / 2.0, budget=budget)
+            self.group_b[j] = IndexedPool("B", j, g, budget=budget, single_job=True)
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """Walk the job up its class's root path through the A/B pools."""
+        c = self._size_class(job.size)
+        for j in self.forest.path_to_root(c):
+            g_j = self.ladder.capacity(j)
+            if job.size > g_j / 2.0:
+                machine = self.group_b[j].first_fit(job.uid, job.size)
+            else:
+                machine = self.group_a[j].first_fit(job.uid, job.size)
+                if machine is None:
+                    # Group A full at this node; a half-large job may still
+                    # ride a Group-B machine here before climbing.
+                    machine = self.group_b[j].first_fit(job.uid, job.size)
+            if machine is not None:
+                return self.state.record(job.uid, machine)
+        raise RuntimeError("GEN-ONLINE failed to place a job; root pool missing?")
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)
+
+    def _size_class(self, size: float) -> int:
+        for i in range(1, self.ladder.m + 1):
+            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+                return i
+        raise ValueError(f"size {size} exceeds the largest capacity")

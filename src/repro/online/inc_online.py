@@ -1,0 +1,45 @@
+"""INC-ONLINE: partition + First-Fit, ((9/4)μ + 27/4)-competitive (Section IV).
+
+Each arriving job of size class ``i`` (``s(J) in (g_{i-1}, g_i]``) is placed
+First-Fit among the type-``i`` machines of its own class; classes never
+share machines.  Lemma 4 bounds the partitioning loss by 9/4 per instant and
+the [14] First-Fit analysis contributes the ``μ + 3`` factor per class.
+"""
+
+from __future__ import annotations
+
+from ..machines.fleet import FleetState, IndexedPool
+from ..machines.ladder import Ladder
+from ..schedule.schedule import MachineKey
+from .engine import JobView
+
+__all__ = ["IncOnlineScheduler"]
+
+
+class IncOnlineScheduler:
+    """Per-size-class First-Fit over the ladder."""
+
+    def __init__(self, ladder: Ladder) -> None:
+        self.ladder = ladder
+        self.state = FleetState()
+        self.pools = {
+            i: IndexedPool(f"class{i}", i, ladder.capacity(i), budget=None)
+            for i in range(1, ladder.m + 1)
+        }
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """First-Fit within the job's size class."""
+        i = self._size_class(job.size)
+        machine = self.pools[i].first_fit(job.uid, job.size)
+        assert machine is not None  # unbounded pool, job fits its class type
+        return self.state.record(job.uid, machine)
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.state.depart(uid)
+
+    def _size_class(self, size: float) -> int:
+        for i in range(1, self.ladder.m + 1):
+            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+                return i
+        raise ValueError(f"size {size} exceeds the largest capacity")

@@ -1,0 +1,86 @@
+"""Decision journals: observable traces of online scheduling runs.
+
+Wrap any online scheduler in :class:`JournalingScheduler` and every
+decision is recorded as a :class:`Decision` — which machine was chosen, how
+many machines were busy, what the load looked like.  Render the journal
+with :func:`render_journal` for debugging/teaching, or assert on it in
+tests (e.g. "the scheduler never placed a big job in Group A").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schedule.schedule import MachineKey
+from .engine import JobView
+
+__all__ = ["Decision", "Journal", "JournalingScheduler", "render_journal"]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """One arrival decision."""
+
+    time: float
+    job_name: str
+    job_size: float
+    machine: MachineKey
+    active_jobs_after: int
+
+
+@dataclass(slots=True)
+class Journal:
+    decisions: list[Decision] = field(default_factory=list)
+    departures: list[tuple[float, int]] = field(default_factory=list)  # (#active after, uid)
+
+    def machines_used(self) -> list[MachineKey]:
+        """Every machine that received at least one job."""
+        return sorted({d.machine for d in self.decisions})
+
+    def decisions_on(self, machine: MachineKey) -> list[Decision]:
+        """All decisions that chose the given machine."""
+        return [d for d in self.decisions if d.machine == machine]
+
+
+class JournalingScheduler:
+    """Transparent wrapper: delegates to the inner scheduler, records all."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.ladder = inner.ladder
+        self.journal = Journal()
+        self._active = 0
+
+    def on_arrival(self, job: JobView) -> MachineKey:
+        """Delegate to the inner scheduler and record the decision."""
+        key = self.inner.on_arrival(job)
+        self._active += 1
+        self.journal.decisions.append(
+            Decision(
+                time=job.arrival,
+                job_name=job.name,
+                job_size=job.size,
+                machine=key,
+                active_jobs_after=self._active,
+            )
+        )
+        return key
+
+    def on_departure(self, uid: int) -> None:
+        """Release the departed job's capacity."""
+        self.inner.on_departure(uid)
+        self._active -= 1
+        self.journal.departures.append((self._active, uid))
+
+
+def render_journal(journal: Journal, *, limit: int = 40) -> str:
+    """Human-readable decision log."""
+    lines = [f"{len(journal.decisions)} placements on {len(journal.machines_used())} machines"]
+    for d in journal.decisions[:limit]:
+        lines.append(
+            f"t={d.time:8.3f}  {d.job_name:12s} (s={d.job_size:6.3g}) -> {d.machine}"
+            f"   [{d.active_jobs_after} active]"
+        )
+    if len(journal.decisions) > limit:
+        lines.append(f"... {len(journal.decisions) - limit} more placements")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Strip partitioning of a placement (paper Section III-A / Fig. 1).
+
+After jobs are placed in the demand chart, the chart is sliced into
+horizontal strips of equal height ``h`` (the algorithms use ``h = g_i / 2``).
+Each placed band is then either
+
+- **fully inside** one strip ``k`` (``k*h <= altitude`` and ``top <= (k+1)*h``), or
+- **crossing** one or more strip boundaries (altitudes ``k*h`` strictly
+  inside the band); such a job is charged to its *lowest* crossed boundary.
+
+Because no three bands overlap, (a) the bands fully inside one strip have
+total size at most ``2h`` at any instant, so one machine of capacity
+``>= 2h`` hosts them all; and (b) at most two bands cross a given boundary at
+any instant, so two machines (one job each at a time) host the boundary's
+crossing jobs — :func:`two_color` splits them greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..jobs.job import Job
+from .chart import Band, Placement
+
+__all__ = ["StripAssignment", "split_into_strips", "two_color"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class StripAssignment:
+    """Outcome of slicing a placement into strips of height ``h``.
+
+    ``inside[k]`` lists the bands fully inside strip ``k`` (0-based strip
+    indices: strip ``k`` spans altitudes ``[k*h, (k+1)*h)``).
+    ``crossing[k]`` lists the bands whose lowest crossed boundary is
+    ``k`` (1-based boundary indices: boundary ``k`` sits at altitude ``k*h``).
+    """
+
+    height: float
+    inside: dict[int, list[Band]]
+    crossing: dict[int, list[Band]]
+
+    def strips_used(self) -> int:
+        """Number of strips needed to contain every band."""
+        top = 0
+        for bands in self.inside.values():
+            for band in bands:
+                top = max(top, band_strip_top(band, self.height))
+        for bands in self.crossing.values():
+            for band in bands:
+                top = max(top, band_strip_top(band, self.height))
+        return top
+
+    def bands_touching_bottom(self, num_strips: int) -> tuple[list[tuple[int, Band]], list[tuple[int, Band]]]:
+        """Bands intersecting the bottom ``num_strips`` strips.
+
+        Returns ``(inside_pairs, crossing_pairs)`` where inside pairs carry
+        the 0-based strip index < num_strips and crossing pairs carry the
+        1-based boundary index <= num_strips.  This is exactly the set of
+        jobs DEC-OFFLINE schedules in one iteration: anything whose band
+        touches the bottom region.
+        """
+        inside_pairs = [
+            (k, band)
+            for k, bands in self.inside.items()
+            if k < num_strips
+            for band in bands
+        ]
+        crossing_pairs = [
+            (k, band)
+            for k, bands in self.crossing.items()
+            if k <= num_strips
+            for band in bands
+        ]
+        return inside_pairs, crossing_pairs
+
+
+def band_strip_top(band: Band, h: float) -> int:
+    """1 + index of the highest strip the band touches."""
+    import math
+
+    return max(1, int(math.ceil(band.top / h - _EPS)))
+
+
+def split_into_strips(placement: Placement, height: float) -> StripAssignment:
+    """Classify every band as inside-strip or boundary-crossing."""
+    if height <= 0:
+        raise ValueError("strip height must be positive")
+    inside: dict[int, list[Band]] = {}
+    crossing: dict[int, list[Band]] = {}
+    for band in placement.bands:
+        k_low = _strip_index(band.altitude, height)
+        lowest_boundary = _lowest_crossed_boundary(band, height)
+        if lowest_boundary is None:
+            inside.setdefault(k_low, []).append(band)
+        else:
+            crossing.setdefault(lowest_boundary, []).append(band)
+    return StripAssignment(height=height, inside=inside, crossing=crossing)
+
+
+def _strip_index(altitude: float, h: float) -> int:
+    """0-based index of the strip containing the altitude (with float slack)."""
+    k = int(altitude / h + _EPS)
+    return max(k, 0)
+
+
+def _lowest_crossed_boundary(band: Band, h: float) -> int | None:
+    """Smallest ``k >= 1`` with ``altitude < k*h < top`` (None if no boundary
+    is strictly inside the band)."""
+    import math
+
+    k = int(math.floor(band.altitude / h + _EPS)) + 1
+    level = k * h
+    # skip boundaries the band merely starts on
+    if level <= band.altitude + _EPS * max(1.0, h):
+        k += 1
+        level = k * h
+    if level < band.top - _EPS * max(1.0, h):
+        return k
+    return None
+
+
+def two_color(bands: list[Band]) -> dict[Job, int]:
+    """Split boundary-crossing bands between two machines.
+
+    At most two of these bands coexist at any instant (2-overlap at the
+    boundary altitude), so greedy interval coloring in arrival order needs
+    only colors {0, 1}.  Raises if the premise is violated.
+    """
+    colors: dict[Job, int] = {}
+    active: list[tuple[float, int]] = []  # (departure, color)
+    for band in sorted(bands, key=lambda b: (b.job.arrival, b.job.uid)):
+        job = band.job
+        active = [(d, c) for d, c in active if d > job.arrival]
+        used = {c for _, c in active}
+        free = [c for c in (0, 1) if c not in used]
+        if not free:
+            raise AssertionError(
+                "more than two concurrent boundary-crossing jobs: "
+                "the 2-overlap invariant was violated upstream"
+            )
+        colors[job] = free[0]
+        active.append((job.departure, free[0]))
+    return colors

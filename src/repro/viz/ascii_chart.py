@@ -1,0 +1,106 @@
+"""ASCII rendering of demand charts and placements (paper Fig. 1).
+
+Matplotlib-free rendering suitable for terminals and EXPERIMENTS.md: the
+demand chart is rasterized on a character grid (time columns × altitude
+rows); each placed job is drawn with its own letter, the chart boundary
+with ``.``.  Also exports the raw series as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import string
+
+from ..core.stepfun import StepFunction
+from ..placement.chart import Placement
+
+__all__ = ["render_placement", "render_profile"]
+
+
+def _letters() -> str:
+    return string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def render_placement(
+    placement: Placement,
+    *,
+    width: int = 72,
+    height: int = 20,
+    strip_height: float | None = None,
+) -> str:
+    """Draw the placement inside its demand chart.
+
+    Each job's rectangle is filled with a distinct character; ``.`` marks
+    chart area not covered by any band; strip boundaries (if requested) are
+    drawn as ``-`` rows on empty cells.
+    """
+    chart = placement.chart
+    if not placement.bands:
+        return "(empty chart)"
+    support = chart.height.support
+    t0, t1 = support.left, support.right
+    peak = max(chart.peak(), placement.max_top())
+    if peak <= 0:
+        return "(zero demand)"
+
+    dt = (t1 - t0) / width
+    dy = peak / height
+    grid = [[" "] * width for _ in range(height)]
+
+    # chart region
+    for col in range(width):
+        t = t0 + (col + 0.5) * dt
+        h = chart.height_at(t)
+        rows = int(h / dy + 1e-9)
+        for row in range(min(rows, height)):
+            grid[row][col] = "."
+
+    # strip boundaries
+    if strip_height is not None and strip_height > 0:
+        level = strip_height
+        while level < peak:
+            row = int(level / dy + 1e-9)
+            if 0 <= row < height:
+                for col in range(width):
+                    if grid[row][col] in (" ", "."):
+                        grid[row][col] = "-"
+            level += strip_height
+
+    # bands
+    alphabet = _letters()
+    for idx, band in enumerate(placement.bands):
+        ch = alphabet[idx % len(alphabet)]
+        col_lo = max(0, int((band.job.arrival - t0) / dt))
+        col_hi = min(width, max(col_lo + 1, int((band.job.departure - t0) / dt + 0.5)))
+        row_lo = max(0, int(band.altitude / dy + 1e-9))
+        row_hi = min(height, max(row_lo + 1, int(band.top / dy + 0.5)))
+        for row in range(row_lo, row_hi):
+            for col in range(col_lo, col_hi):
+                grid[row][col] = ch
+
+    lines = []
+    for row in reversed(range(height)):
+        lines.append(f"{(row + 1) * dy:7.2f} |" + "".join(grid[row]))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"t={t0:g} .. {t1:g}   (peak demand {peak:g})")
+    return "\n".join(lines)
+
+
+def render_profile(profile: StepFunction, *, width: int = 72, height: int = 12) -> str:
+    """Bar rendering of any step function (demand, machine counts, rates)."""
+    support = profile.support
+    t0, t1 = support.left, support.right
+    peak = profile.max()
+    if peak <= 0:
+        return "(identically zero)"
+    dt = (t1 - t0) / width
+    lines = []
+    for row in reversed(range(height)):
+        threshold = (row + 0.5) * peak / height
+        cells = []
+        for col in range(width):
+            value = float(profile(t0 + (col + 0.5) * dt))
+            cells.append("#" if value >= threshold else " ")
+        lines.append(f"{(row + 1) * peak / height:8.2f} |" + "".join(cells))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"t={t0:g} .. {t1:g}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Text rendering of the Section-V machine-type forest (paper Fig. 2)."""
+
+from __future__ import annotations
+
+from ..machines.ladder import Ladder, TypeForest
+
+__all__ = ["render_forest"]
+
+
+def render_forest(forest: TypeForest) -> str:
+    """Tree-drawing of the forest with capacities and amortized rates.
+
+    Example output::
+
+        forest over 8 machine types (3 trees)
+        tree rooted at 3  [types 1..3]
+          3  (g=4, r=12, r/g=3)
+          ├─ 1  (g=1, r=4, r/g=4)
+          └─ 2  (g=2, r=10, r/g=5)
+    """
+    ladder = forest.ladder
+    lines = [
+        f"forest over {ladder.m} machine types ({len(forest.roots)} trees)"
+    ]
+
+    def label(i: int) -> str:
+        t = ladder.type(i)
+        return f"{i}  (g={t.capacity:g}, r={t.rate:g}, r/g={t.amortized_rate:g})"
+
+    def walk(node: int, prefix: str) -> None:
+        children = forest.children[node]
+        for idx, child in enumerate(children):
+            last = idx == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            lines.append(prefix + branch + label(child))
+            walk(child, prefix + ("   " if last else "│  "))
+
+    for root in forest.roots:
+        lo, hi = forest.subtree_span(root)
+        lines.append(f"tree rooted at {root}  [types {lo}..{hi}]")
+        lines.append("  " + label(root))
+        walk(root, "  ")
+    return "\n".join(lines)

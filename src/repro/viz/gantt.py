@@ -1,0 +1,50 @@
+"""ASCII machine gantt charts: which machine runs which jobs when."""
+
+from __future__ import annotations
+
+from ..jobs.jobset import JobSet
+from ..schedule.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, *, width: int = 72, max_machines: int = 40) -> str:
+    """One row per machine; ``#`` where busy, job letters where resolvable.
+
+    Machines are sorted by (type, tag); output is truncated at
+    ``max_machines`` rows with a summary line.
+    """
+    groups = schedule.by_machine()
+    if not groups:
+        return "(empty schedule)"
+    span = schedule.jobs.busy_span()
+    t0 = span.intervals[0].left
+    t1 = span.intervals[-1].right
+    dt = (t1 - t0) / width
+
+    lines = []
+    keys = sorted(groups)
+    for key in keys[:max_machines]:
+        jobs = groups[key]
+        # '=' marks single occupancy, '#' marks shared occupancy
+        row = [" "] * width
+        depth = [0] * width
+        for job in jobs:
+            col_lo = max(0, int((job.arrival - t0) / dt))
+            col_hi = min(width, max(col_lo + 1, int((job.departure - t0) / dt + 0.5)))
+            for col in range(col_lo, col_hi):
+                depth[col] += 1
+        for col in range(width):
+            if depth[col] == 1:
+                row[col] = "="
+            elif depth[col] > 1:
+                row[col] = "#"
+        busy = JobSet(jobs).busy_span().length
+        rate = schedule.ladder.rate(key.type_index)
+        lines.append(
+            f"{str(key):24s} |{''.join(row)}| busy={busy:8.2f} cost={busy * rate:9.2f}"
+        )
+    if len(keys) > max_machines:
+        lines.append(f"... {len(keys) - max_machines} more machines")
+    lines.append(f"total cost: {schedule.cost():.3f} on {len(keys)} machines")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Standalone SVG export of demand charts and gantt charts.
+
+Dependency-free SVG writers so results can go straight into papers or
+dashboards.  Colors are a fixed qualitative palette cycled per job/machine;
+everything is sized in user units with a viewBox, so the output scales.
+"""
+
+from __future__ import annotations
+
+from ..jobs.jobset import JobSet
+from ..placement.chart import Placement
+from ..schedule.schedule import Schedule
+
+__all__ = ["placement_svg", "gantt_svg"]
+
+_PALETTE = [
+    "#4C72B0", "#DD8452", "#55A868", "#C44E52", "#8172B3",
+    "#937860", "#DA8BC3", "#8C8C8C", "#CCB974", "#64B5CD",
+]
+
+
+def _svg_header(width: float, height: float) -> list[str]:
+    return [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width:g} {height:g}" '
+        f'width="{width:g}" height="{height:g}" font-family="sans-serif">',
+        f'<rect x="0" y="0" width="{width:g}" height="{height:g}" fill="white"/>',
+    ]
+
+
+def placement_svg(
+    placement: Placement,
+    *,
+    width: float = 800.0,
+    height: float = 400.0,
+    strip_height: float | None = None,
+) -> str:
+    """The Fig.-1 picture as SVG: chart outline, bands, strip boundaries."""
+    chart = placement.chart
+    if not placement.bands:
+        return "\n".join(_svg_header(width, height) + ["</svg>"])
+    support = chart.height.support
+    t0, t1 = support.left, support.right
+    peak = max(chart.peak(), placement.max_top())
+    sx = width / (t1 - t0)
+    sy = (height - 20.0) / peak
+
+    def x(t: float) -> float:
+        return (t - t0) * sx
+
+    def y(alt: float) -> float:
+        return height - 10.0 - alt * sy
+
+    out = _svg_header(width, height)
+    # chart outline as a step path
+    path = [f"M {x(t0):.2f} {y(0):.2f}"]
+    for left, right, value in chart.height.segments():
+        path.append(f"L {x(left):.2f} {y(value):.2f}")
+        path.append(f"L {x(right):.2f} {y(value):.2f}")
+    path.append(f"L {x(t1):.2f} {y(0):.2f} Z")
+    out.append(
+        f'<path d="{" ".join(path)}" fill="#eef2f7" stroke="#555" stroke-width="1"/>'
+    )
+    # strip boundaries
+    if strip_height and strip_height > 0:
+        level = strip_height
+        while level < peak:
+            out.append(
+                f'<line x1="0" y1="{y(level):.2f}" x2="{width:g}" y2="{y(level):.2f}" '
+                'stroke="#999" stroke-dasharray="4 3" stroke-width="0.7"/>'
+            )
+            level += strip_height
+    # bands
+    for idx, band in enumerate(placement.bands):
+        color = _PALETTE[idx % len(_PALETTE)]
+        out.append(
+            f'<rect x="{x(band.job.arrival):.2f}" y="{y(band.top):.2f}" '
+            f'width="{(band.job.departure - band.job.arrival) * sx:.2f}" '
+            f'height="{band.job.size * sy:.2f}" fill="{color}" fill-opacity="0.75" '
+            f'stroke="#333" stroke-width="0.5">'
+            f"<title>{band.job.name}: s={band.job.size:g} "
+            f"[{band.job.arrival:g},{band.job.departure:g}) alt={band.altitude:g}</title></rect>"
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def gantt_svg(
+    schedule: Schedule,
+    *,
+    width: float = 800.0,
+    row_height: float = 18.0,
+    max_machines: int = 40,
+) -> str:
+    """Machine gantt as SVG: one lane per machine, one rect per job."""
+    groups = schedule.by_machine()
+    keys = sorted(groups)[:max_machines]
+    if not keys:
+        return "\n".join(_svg_header(width, 40) + ["</svg>"])
+    span = schedule.jobs.busy_span()
+    t0 = span.intervals[0].left
+    t1 = span.intervals[-1].right
+    label_w = 170.0
+    sx = (width - label_w) / (t1 - t0)
+    height = row_height * len(keys) + 10.0
+
+    out = _svg_header(width, height)
+    for row, key in enumerate(keys):
+        y0 = 5.0 + row * row_height
+        out.append(
+            f'<text x="4" y="{y0 + row_height * 0.7:.2f}" font-size="{row_height * 0.55:g}" '
+            f'fill="#333">{key}</text>'
+        )
+        out.append(
+            f'<line x1="{label_w:g}" y1="{y0 + row_height - 2:.2f}" x2="{width:g}" '
+            f'y2="{y0 + row_height - 2:.2f}" stroke="#ddd" stroke-width="0.5"/>'
+        )
+        for job in groups[key]:
+            color = _PALETTE[job.uid % len(_PALETTE)]
+            out.append(
+                f'<rect x="{label_w + (job.arrival - t0) * sx:.2f}" y="{y0:.2f}" '
+                f'width="{max(1.0, (job.departure - job.arrival) * sx):.2f}" '
+                f'height="{row_height - 4:.2f}" fill="{color}" fill-opacity="0.8" '
+                f'stroke="#333" stroke-width="0.4">'
+                f"<title>{job.name}: s={job.size:g} "
+                f"[{job.arrival:g},{job.departure:g})</title></rect>"
+            )
+    out.append("</svg>")
+    return "\n".join(out)

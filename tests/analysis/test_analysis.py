@@ -1,0 +1,97 @@
+"""Unit tests for ratios, metrics and table rendering."""
+
+import pytest
+
+from repro import Job, JobSet, dec_ladder, dec_offline, lower_bound
+from repro.analysis.metrics import busy_machine_profile, compute_metrics
+from repro.analysis.ratios import evaluate, evaluate_suite, theoretical_bounds
+from repro.analysis.tables import render_table, to_csv
+from repro.schedule.schedule import MachineKey, Schedule
+
+
+class TestEvaluate:
+    def test_single_run(self, dec3, small_jobs):
+        run = evaluate("DEC-OFFLINE", __import__("repro").dec_offline, small_jobs, dec3)
+        assert run.ratio >= 1.0 - 1e-9
+        assert run.cost > 0
+        assert run.n_jobs == 4
+        row = run.row()
+        assert row["algorithm"] == "DEC-OFFLINE"
+
+    def test_shared_lb(self, dec3, small_jobs):
+        lb = lower_bound(small_jobs, dec3).value
+        run = evaluate(
+            "x", __import__("repro").dec_offline, small_jobs, dec3, lb_value=lb
+        )
+        assert run.lower_bound == lb
+
+    def test_suite(self, dec3, small_jobs):
+        from repro import dec_offline, general_offline
+
+        runs = evaluate_suite(
+            {"a": dec_offline, "b": general_offline},
+            {"w": (small_jobs, dec3)},
+        )
+        assert len(runs) == 2
+        assert runs[0].lower_bound == runs[1].lower_bound
+
+    def test_infeasible_detected(self, dec3, small_jobs):
+        def broken(jobs, ladder):
+            return Schedule(ladder, {})  # schedules nothing
+
+        with pytest.raises(AssertionError):
+            evaluate("broken", broken, small_jobs, dec3)
+
+    def test_theoretical_bounds_table(self):
+        bounds = theoretical_bounds(mu=4.0, m=9)
+        assert bounds["DEC-OFFLINE"] == 14.0
+        assert bounds["DEC-ONLINE"] == 32.0 * 5.0
+        assert bounds["INC-ONLINE"] == pytest.approx(2.25 * 4 + 6.75)
+        assert bounds["GEN-OFFLINE"] == pytest.approx(14.0 * 3.0)
+
+
+class TestMetrics:
+    def test_busy_profile(self, dec3):
+        a = Job(0.5, 0, 4, name="a")
+        b = Job(0.5, 2, 6, name="b")
+        sched = Schedule(
+            dec3, {a: MachineKey(1, ("m", 0)), b: MachineKey(1, ("m", 1))}
+        )
+        profile = busy_machine_profile(sched)
+        assert float(profile(3.0)) == 2.0
+        assert float(profile(5.0)) == 1.0
+        assert busy_machine_profile(sched, type_index=2).max() == 0.0
+
+    def test_compute_metrics(self, dec3, small_jobs):
+        sched = dec_offline(small_jobs, dec3)
+        metrics = compute_metrics(sched)
+        assert metrics.cost == pytest.approx(sched.cost())
+        assert 0 < metrics.utilization <= 1.0
+        assert metrics.machines == len(sched.machines())
+        assert sum(metrics.cost_by_type.values()) == pytest.approx(metrics.cost)
+
+
+class TestTables:
+    def test_render_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2.5, "b": "yy"}]
+        text = render_table(rows, title="T")
+        assert "T" in text
+        assert "a" in text.splitlines()[1]
+        assert "2.5" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_csv(self):
+        rows = [{"a": 1, "b": 2.0}]
+        csv = to_csv(rows)
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[1] == "1,2"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""

@@ -1,0 +1,126 @@
+"""Tests for the executable Theorem-2 proof machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    DecOnlineScheduler,
+    Job,
+    JobSet,
+    bounded_mu_workload,
+    dec_ladder,
+    lower_bound,
+    run_online,
+)
+from repro.analysis.certificates import (
+    certify_dec_online,
+    interval_families,
+    reference_configuration,
+)
+from tests.conftest import jobset_strategy
+
+
+@pytest.fixture
+def ladder():
+    return dec_ladder(3)  # capacities 1, 3, 9; rates 1, 2, 4
+
+
+class TestReferenceConfiguration:
+    def test_p1_dominates_small_total(self, ladder):
+        # one big job (size 5 -> type 3), tiny total: M(t) = chain + 1 type-3
+        jobs = JobSet([Job(5.0, 0, 2)])
+        config = reference_configuration(jobs, ladder)
+        assert config.count_at(3, 1.0) == 1
+        # chain below p1: (r2/r1 - 1) = 1 type-1, (r3/r2 - 1) = 1 type-2
+        assert config.count_at(1, 1.0) == 1
+        assert config.count_at(2, 1.0) == 1
+
+    def test_p2_scales_with_total(self, ladder):
+        # many small jobs totalling 18 -> p2 = 3, ceil(18/9) = 2 type-3
+        jobs = JobSet([Job(0.9, 0, 2, name=f"j{i}") for i in range(20)])
+        config = reference_configuration(jobs, ladder)
+        assert config.count_at(3, 1.0) == 2
+
+    def test_empty(self, ladder):
+        config = reference_configuration(JobSet(), ladder)
+        assert config.cost_rate.integral() == 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=15, max_size=8.0))
+    def test_property_lemma1(self, jobs):
+        """rate(M(t)) <= 4 * optimal configuration rate, everywhere."""
+        ladder = dec_ladder(3)
+        config = reference_configuration(jobs, ladder)
+        lb = lower_bound(jobs, ladder)
+        for seg, opt_rate in zip(lb.segments, lb.rates):
+            mid = (seg.left + seg.right) / 2
+            assert float(config.cost_rate(mid)) <= 4.0 * opt_rate + 1e-9
+
+    @settings(deadline=None, max_examples=20)
+    @given(jobset_strategy(max_jobs=15, max_size=8.0))
+    def test_property_m_covers_demand(self, jobs):
+        """M(t) has enough capacity for all active jobs, and enough high-type
+        capacity for the largest one (it is a valid relaxed configuration)."""
+        ladder = dec_ladder(3)
+        config = reference_configuration(jobs, ladder)
+        for seg in jobs.segments():
+            mid = (seg.left + seg.right) / 2
+            active = [j for j in jobs if j.active_at(mid)]
+            total_cap = sum(
+                config.count_at(i, mid) * ladder.capacity(i)
+                for i in range(1, 4)
+            )
+            assert total_cap >= max(j.size for j in active) - 1e-9
+
+
+class TestIntervalFamilies:
+    def test_families_nested_in_level(self, ladder):
+        jobs = JobSet([Job(0.9, 0, 4, name=f"j{i}") for i in range(20)])
+        config = reference_configuration(jobs, ladder)
+        fams = interval_families(config, mu=1.0)
+        for (i, j), (base, prime) in fams.items():
+            if (i, j + 1) in fams:
+                higher_base = fams[(i, j + 1)][0]
+                for member in higher_base:
+                    assert base.covers(member)
+
+    def test_prime_extends_base(self, ladder):
+        jobs = JobSet([Job(5.0, 0, 2)])
+        config = reference_configuration(jobs, ladder)
+        fams = interval_families(config, mu=2.0)
+        base, prime = fams[(3, 1)]
+        assert prime.length >= base.length
+        assert prime.length <= (2.0 + 1.0) * base.length + 1e-9
+
+
+class TestCertify:
+    def test_certifies_random_runs(self, ladder):
+        rng = np.random.default_rng(17)
+        for mu in (1.0, 8.0):
+            jobs = bounded_mu_workload(60, rng, mu=mu, max_size=ladder.capacity(3))
+            sched = run_online(jobs, DecOnlineScheduler(ladder))
+            cert = certify_dec_online(jobs, ladder, sched)
+            assert cert.lemma1_holds
+            assert not cert.lemma3_violations
+            assert cert.actual_cost <= cert.certified_bound + 1e-6
+            assert cert.certified_bound <= 32.0 * (jobs.mu + 1.0) * cert.lower_bound + 1e-6
+
+    def test_rejects_foreign_schedule(self, ladder):
+        """Schedules without DEC-ONLINE machine tags cannot be certified."""
+        from repro import dec_offline
+
+        jobs = JobSet([Job(0.5, 0, 2)])
+        sched = dec_offline(jobs, ladder)
+        with pytest.raises(ValueError, match="machine tags"):
+            certify_dec_online(jobs, ladder, sched)
+
+    @settings(deadline=None, max_examples=20)
+    @given(jobset_strategy(max_jobs=15, max_size=8.0))
+    def test_property_certificate_chain(self, jobs):
+        ladder = dec_ladder(3)
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        cert = certify_dec_online(jobs, ladder, sched)
+        assert cert.lemma1_holds
+        if cert.certified:
+            assert cert.actual_cost <= cert.certified_bound + 1e-6

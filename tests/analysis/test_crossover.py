@@ -1,0 +1,74 @@
+"""Tests for the crossover scanner."""
+
+import numpy as np
+import pytest
+
+from repro import dec_ladder, dec_offline, poisson_workload, run_online
+from repro.analysis.crossover import find_crossover
+from repro.baselines.naive import LargestTypeFirstFit
+
+
+def make_instance_factory(ladder):
+    def make(rate, rng):
+        return poisson_workload(
+            30, rng, rate=float(rate), mean_duration=4.0,
+            max_size=ladder.capacity(ladder.m) / 3.0,
+        )
+
+    return make
+
+
+class TestCrossover:
+    def test_scan_shape(self):
+        ladder = dec_ladder(3)
+        result = find_crossover(
+            dec_offline,
+            lambda j, l: run_online(j, LargestTypeFirstFit(l)),
+            make_instance_factory(ladder),
+            ladder,
+            [0.1, 1.0, 5.0],
+            seeds=1,
+        )
+        assert len(result.cost_a) == 3
+        assert result.parameter_values == (0.1, 1.0, 5.0)
+        rows = result.rows("A", "B")
+        assert {r["winner"] for r in rows} <= {"A", "B"}
+
+    def test_identical_schedulers_never_cross(self):
+        ladder = dec_ladder(2)
+        result = find_crossover(
+            dec_offline,
+            dec_offline,
+            make_instance_factory(ladder),
+            ladder,
+            [0.2, 2.0],
+            seeds=1,
+        )
+        assert result.crossings == ()
+        assert result.cost_a == result.cost_b
+
+    def test_values_sorted(self):
+        ladder = dec_ladder(2)
+        result = find_crossover(
+            dec_offline,
+            dec_offline,
+            make_instance_factory(ladder),
+            ladder,
+            [5.0, 0.1],
+            seeds=1,
+        )
+        assert result.parameter_values == (0.1, 5.0)
+
+    def test_deterministic(self):
+        ladder = dec_ladder(2)
+        kwargs = dict(seeds=2, base_seed=3)
+        args = (
+            dec_offline,
+            lambda j, l: run_online(j, LargestTypeFirstFit(l)),
+            make_instance_factory(ladder),
+            ladder,
+            [0.2, 2.0],
+        )
+        a = find_crossover(*args, **kwargs)
+        b = find_crossover(*args, **kwargs)
+        assert a.cost_a == b.cost_a and a.cost_b == b.cost_b

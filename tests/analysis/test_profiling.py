@@ -1,0 +1,52 @@
+"""Tests for the profiling instrumentation."""
+
+import time
+
+from repro.analysis.profiling import Profiler
+
+
+class TestProfiler:
+    def test_counters_accumulate(self):
+        prof = Profiler()
+        prof.count("x")
+        prof.count("x", 2.5)
+        assert prof.counters["x"] == 3.5
+
+    def test_timer_accumulates(self):
+        prof = Profiler()
+        for _ in range(3):
+            with prof.timer("sleepy"):
+                time.sleep(0.001)
+        rec = prof.timers["sleepy"]
+        assert rec.calls == 3
+        assert rec.total >= 0.003
+
+    def test_timer_survives_exception(self):
+        prof = Profiler()
+        try:
+            with prof.timer("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert prof.timers["boom"].calls == 1
+
+    def test_merge(self):
+        a, b = Profiler(), Profiler()
+        a.count("n", 1)
+        b.count("n", 2)
+        with b.timer("t"):
+            pass
+        a.merge(b)
+        assert a.counters["n"] == 3
+        assert a.timers["t"].calls == 1
+
+    def test_table_and_reset(self):
+        prof = Profiler()
+        assert "(empty profiler)" in prof.table()
+        prof.count("hits", 7)
+        with prof.timer("work"):
+            pass
+        text = prof.table()
+        assert "hits" in text and "work" in text
+        prof.reset()
+        assert "(empty profiler)" in prof.table()

@@ -1,0 +1,47 @@
+"""Tests for markdown schedule reports."""
+
+import pytest
+
+from repro import dec_ladder, dec_offline, uniform_workload
+from repro.analysis.report import schedule_report
+
+
+@pytest.fixture
+def schedule_and_jobs(rng):
+    ladder = dec_ladder(3)
+    jobs = uniform_workload(30, rng, max_size=ladder.capacity(3))
+    return dec_offline(jobs, ladder), jobs
+
+
+class TestScheduleReport:
+    def test_contains_headline_numbers(self, schedule_and_jobs):
+        sched, jobs = schedule_and_jobs
+        text = schedule_report(sched, jobs, algorithm="dec-offline")
+        assert "dec-offline" in text
+        assert f"{sched.cost():.4f}" in text
+        assert "measured ratio" in text
+
+    def test_per_type_table_rows(self, schedule_and_jobs):
+        sched, jobs = schedule_and_jobs
+        text = schedule_report(sched, jobs)
+        # one markdown row per ladder type
+        assert text.count("\n| 1 |") == 1
+        assert text.count("\n| 3 |") == 1
+
+    def test_sections_present(self, schedule_and_jobs):
+        sched, jobs = schedule_and_jobs
+        text = schedule_report(sched, jobs, title="My Report")
+        assert text.startswith("# My Report")
+        for section in ("## Cost by machine type", "## Busiest machines", "## Demand profile"):
+            assert section in text
+
+    def test_busiest_machines_sorted(self, schedule_and_jobs):
+        sched, jobs = schedule_and_jobs
+        text = schedule_report(sched, jobs)
+        section = text.split("## Busiest machines")[1].split("## Demand profile")[0]
+        costs = [
+            float(line.split("|")[-2])
+            for line in section.splitlines()
+            if line.startswith("| T")
+        ]
+        assert costs == sorted(costs, reverse=True)

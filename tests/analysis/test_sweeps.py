@@ -1,0 +1,48 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro import dec_ladder, dec_offline, uniform_workload
+from repro.analysis.sweeps import Sweep
+from repro.online.dec_online import DecOnlineScheduler
+from repro.online.engine import run_online
+
+
+def make_instance(n, rng):
+    ladder = dec_ladder(3)
+    return uniform_workload(int(n), rng, max_size=ladder.capacity(3)), ladder
+
+
+ALGOS = {
+    "offline": dec_offline,
+    "online": lambda j, l: run_online(j, DecOnlineScheduler(l)),
+}
+
+
+class TestSweep:
+    def test_rows_shape(self):
+        sweep = Sweep(parameter="n", values=(20, 40), seeds=2)
+        rows = sweep.run(make_instance, ALGOS)
+        assert len(rows) == 2 * len(ALGOS)
+        for row in rows:
+            assert row.min_ratio <= row.mean_ratio <= row.max_ratio
+            assert row.seeds == 2
+
+    def test_deterministic(self):
+        sweep = Sweep(parameter="n", values=(25,), seeds=2)
+        a = sweep.run(make_instance, ALGOS)
+        b = sweep.run(make_instance, ALGOS)
+        assert [r.mean_ratio for r in a] == [r.mean_ratio for r in b]
+
+    def test_row_dict(self):
+        sweep = Sweep(parameter="n", values=(20,), seeds=1)
+        row = sweep.run(make_instance, ALGOS)[0].row()
+        assert row["n"] == 20
+        assert "ratio(mean)" in row
+
+    def test_infeasible_algorithm_caught(self):
+        from repro.schedule.schedule import Schedule
+
+        sweep = Sweep(parameter="n", values=(10,), seeds=1)
+        with pytest.raises(AssertionError):
+            sweep.run(make_instance, {"broken": lambda j, l: Schedule(l, {})})

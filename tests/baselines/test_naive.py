@@ -1,0 +1,70 @@
+"""Unit tests for the baseline schedulers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    CheapestFitGreedy,
+    Job,
+    JobSet,
+    LargestTypeFirstFit,
+    OneJobPerMachine,
+    dec_ladder,
+    lower_bound,
+    run_online,
+    uniform_workload,
+)
+from repro.schedule.validate import assert_feasible
+from tests.conftest import dec_ladder_strategy, jobset_strategy
+
+
+class TestOneJobPerMachine:
+    def test_cost_is_sum_of_durations_times_fit_rate(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4), Job(2.0, 0, 3)])
+        sched = run_online(jobs, OneJobPerMachine(dec3))
+        # 0.5 fits type 1 (rate 1): 4; 2.0 fits type 2 (rate 2): 6
+        assert sched.cost() == pytest.approx(4.0 + 6.0)
+
+    def test_every_job_alone(self, dec3, rng):
+        jobs = uniform_workload(30, rng, max_size=dec3.capacity(3))
+        sched = run_online(jobs, OneJobPerMachine(dec3))
+        assert len(sched.machines()) == len(jobs)
+        assert_feasible(sched, jobs)
+
+
+class TestLargestTypeFirstFit:
+    def test_only_top_type_used(self, dec3, rng):
+        jobs = uniform_workload(30, rng, max_size=dec3.capacity(3))
+        sched = run_online(jobs, LargestTypeFirstFit(dec3))
+        assert_feasible(sched, jobs)
+        assert all(k.type_index == dec3.m for k in sched.machines())
+
+    def test_wasteful_on_tiny_load(self, dec3):
+        # one tiny job pays the big machine's rate
+        jobs = JobSet([Job(0.1, 0, 10)])
+        sched = run_online(jobs, LargestTypeFirstFit(dec3))
+        assert sched.cost() == pytest.approx(10.0 * dec3.rate(3))
+
+
+class TestCheapestFitGreedy:
+    def test_reuses_open_machine(self, dec3):
+        a = Job(0.4, 0, 10, name="a")
+        b = Job(0.4, 1, 9, name="b")
+        sched = run_online(JobSet([a, b]), CheapestFitGreedy(dec3))
+        assert sched.machine_of(a) == sched.machine_of(b)
+
+    def test_opens_cheapest_fitting(self, dec3):
+        jobs = JobSet([Job(2.0, 0, 5)])
+        sched = run_online(jobs, CheapestFitGreedy(dec3))
+        assert sched.machine_of(jobs.jobs[0]).type_index == 2
+
+
+@settings(deadline=None, max_examples=25)
+@given(jobset_strategy(max_jobs=20, max_size=8.0), dec_ladder_strategy(max_m=4))
+def test_property_all_baselines_feasible(jobs, ladder):
+    if not ladder.fits(jobs.max_size):
+        return
+    for factory in (OneJobPerMachine, LargestTypeFirstFit, CheapestFitGreedy):
+        sched = run_online(jobs, factory(ladder))
+        assert_feasible(sched, jobs)
+        assert sched.cost() >= lower_bound(jobs, ladder).value - 1e-9

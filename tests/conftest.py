@@ -1,0 +1,97 @@
+"""Shared fixtures and hypothesis strategies for the BSHM test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro import Job, JobSet, Ladder, MachineType
+
+
+# ---------------------------------------------------------------------------
+# plain fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def dec3():
+    """A 3-type normal-form DEC ladder: capacities 1, 3, 9, rates 1, 2, 4."""
+    from repro import dec_ladder
+
+    return dec_ladder(3)
+
+
+@pytest.fixture
+def inc3():
+    """A 3-type normal-form INC ladder: capacities 1, 1.5, 2.25, rates 1, 2, 4."""
+    from repro import inc_ladder
+
+    return inc_ladder(3)
+
+
+@pytest.fixture
+def small_jobs():
+    """A tiny deterministic instance used across modules."""
+    return JobSet(
+        [
+            Job(size=0.5, arrival=0.0, departure=4.0, name="a"),
+            Job(size=0.8, arrival=1.0, departure=3.0, name="b"),
+            Job(size=2.0, arrival=2.0, departure=6.0, name="c"),
+            Job(size=0.3, arrival=5.0, departure=9.0, name="d"),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def job_strategy(draw, max_size: float = 8.0, horizon: float = 50.0):
+    size = draw(st.floats(0.05, max_size, allow_nan=False, allow_infinity=False))
+    arrival = draw(st.floats(0.0, horizon, allow_nan=False, allow_infinity=False))
+    duration = draw(st.floats(0.1, 20.0, allow_nan=False, allow_infinity=False))
+    return Job(size=size, arrival=arrival, departure=arrival + duration)
+
+
+@st.composite
+def jobset_strategy(draw, min_jobs: int = 1, max_jobs: int = 25, max_size: float = 8.0):
+    jobs = draw(
+        st.lists(job_strategy(max_size=max_size), min_size=min_jobs, max_size=max_jobs)
+    )
+    return JobSet(jobs)
+
+
+@st.composite
+def dec_ladder_strategy(draw, max_m: int = 4):
+    """Normal-form DEC ladders: rates 2^i, capacity factor > 2."""
+    m = draw(st.integers(1, max_m))
+    factor = draw(st.floats(2.1, 4.0))
+    return Ladder(MachineType(factor**i, 2.0**i) for i in range(m))
+
+
+@st.composite
+def inc_ladder_strategy(draw, max_m: int = 4):
+    """Normal-form INC ladders: rates 2^i, capacity factor in (1, 2)."""
+    m = draw(st.integers(1, max_m))
+    factor = draw(st.floats(1.2, 1.9))
+    return Ladder(MachineType(factor**i, 2.0**i) for i in range(m))
+
+
+@st.composite
+def any_ladder_strategy(draw, max_m: int = 5):
+    """Arbitrary valid ladders (strictly increasing capacities and rates)."""
+    m = draw(st.integers(1, max_m))
+    cap = 1.0
+    rate = 1.0
+    types = []
+    for _ in range(m):
+        types.append(MachineType(cap, rate))
+        cap *= draw(st.floats(1.1, 3.0))
+        rate *= draw(st.floats(1.1, 3.0))
+    return Ladder(types)

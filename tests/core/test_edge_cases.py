@@ -1,0 +1,142 @@
+"""Edge cases across the core substrate that the main suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Interval,
+    IntervalSet,
+    Job,
+    JobSet,
+    StepFunction,
+    pulse,
+    sum_pulses,
+)
+
+
+class TestStepFunctionEdges:
+    def test_single_point_support_queries(self):
+        f = pulse(5.0, 5.0 + 1e-9, 1.0)
+        assert f.integral() == pytest.approx(1e-9)
+
+    def test_compact_all_zero_collapses(self):
+        f = StepFunction([0, 1, 2, 3], [0.0, 0.0, 0.0]).compact()
+        # collapses to a single zero segment
+        assert f.values.size == 1
+        assert f.integral() == 0.0
+
+    def test_compact_trims_zero_edges(self):
+        f = StepFunction([0, 1, 2, 3], [0.0, 5.0, 0.0]).compact()
+        assert f.support == Interval(1.0, 2.0)
+
+    def test_add_disjoint_supports(self):
+        f = pulse(0, 1, 1.0) + pulse(10, 11, 2.0)
+        assert f(0.5) == 1.0
+        assert f(5.0) == 0.0
+        assert f(10.5) == 2.0
+
+    def test_subtraction_to_zero(self):
+        f = pulse(0, 2, 3.0) - pulse(0, 2, 3.0)
+        assert f.integral() == 0.0
+
+    def test_superlevel_at_zero_threshold(self):
+        f = pulse(0, 2, 1.0)
+        # >= 0 includes everything in the support
+        assert f.superlevel(0.0).length >= 2.0
+
+    def test_negative_values_allowed(self):
+        f = pulse(0, 1, -2.0)
+        assert f.min_on(Interval(0, 1)) == -2.0
+        assert f.integral() == -2.0
+
+    def test_scale_by_zero(self):
+        f = pulse(0, 2, 3.0).scale(0.0)
+        assert f.integral() == 0.0
+
+    def test_sum_pulses_identical_pulses(self):
+        f = sum_pulses([(0, 1, 1.0)] * 5)
+        assert f(0.5) == 5.0
+
+    def test_sum_pulses_cancellation_clamps_residue(self):
+        # heights that nearly cancel shouldn't leave -1e-17 residues
+        f = sum_pulses([(0, 2, 0.1), (0, 2, 0.2), (1, 2, -0.3 + 1e-12)])
+        assert f(1.5) >= 0.0
+
+
+class TestIntervalSetEdges:
+    def test_many_nested_intervals(self):
+        ivs = [Interval(i * 0.1, 10 - i * 0.1) for i in range(40)]
+        s = IntervalSet(ivs)
+        assert len(s) == 1
+        assert s.length == pytest.approx(10.0)
+
+    def test_intersect_touching_is_empty(self):
+        a = IntervalSet([Interval(0, 1)])
+        b = IntervalSet([Interval(1, 2)])
+        assert a.intersect(b).empty
+
+    def test_extend_zero_factor_identity(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert s.extend_members_right(0.0) == s
+
+    def test_covers_empty_set(self):
+        assert not IntervalSet().covers(Interval(0, 1))
+
+
+class TestJobSetEdges:
+    def test_jobs_with_identical_intervals(self):
+        jobs = JobSet([Job(1.0, 0, 5) for _ in range(4)])
+        assert jobs.peak_demand() == pytest.approx(4.0)
+        assert len(jobs.segments()) == 1
+
+    def test_instantaneous_handover_demand(self):
+        # b starts exactly when a ends: demand never doubles
+        jobs = JobSet([Job(1.0, 0, 5), Job(1.0, 5, 10)])
+        assert jobs.peak_demand() == pytest.approx(1.0)
+
+    def test_very_long_and_short_jobs_mu(self):
+        jobs = JobSet([Job(1, 0, 1e-3), Job(1, 0, 1e3)])
+        assert jobs.mu == pytest.approx(1e6)
+
+    def test_filter_to_empty(self, small_jobs):
+        assert small_jobs.filter(lambda j: False).empty
+
+    def test_demand_profile_of_empty(self):
+        assert JobSet().demand_profile().integral() == 0.0
+
+    def test_at_least_class_boundary_size(self):
+        # size exactly g_1 belongs to class 1, so it is NOT in J_{>=2}
+        jobs = JobSet([Job(1.0, 0, 1)])
+        assert jobs.at_least_class(2, (1.0, 3.0)).empty
+
+
+class TestFloatRobustness:
+    def test_tiny_sizes(self):
+        from repro import dec_ladder, dec_offline
+        from repro.schedule.validate import assert_feasible
+
+        jobs = JobSet([Job(1e-8, 0, 1), Job(1e-8, 0.5, 2)])
+        sched = dec_offline(jobs, dec_ladder(2))
+        assert_feasible(sched, jobs)
+
+    def test_large_times(self):
+        from repro import dec_ladder, dec_offline, lower_bound
+        from repro.schedule.validate import assert_feasible
+
+        base = 1e9
+        jobs = JobSet([Job(0.5, base, base + 10), Job(0.5, base + 5, base + 20)])
+        ladder = dec_ladder(2)
+        sched = dec_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        assert sched.cost() >= lower_bound(jobs, ladder).value - 1e-6
+
+    def test_capacity_exact_fill(self):
+        from repro import single_type_ladder
+        from repro.machines.fleet import IndexedPool
+
+        pool = IndexedPool("A", 1, capacity=1.0, budget=None)
+        m = pool.first_fit(1, 0.3)
+        pool.first_fit(2, 0.3)
+        pool.first_fit(3, 0.4)  # fills to exactly 1.0
+        assert m.load == pytest.approx(1.0)
+        assert not m.fits(1e-6)

@@ -1,0 +1,69 @@
+"""Unit tests for the sweep-line event machinery."""
+
+from hypothesis import given
+
+from repro import EventKind, Job, JobSet, elementary_segments, event_stream
+from tests.conftest import jobset_strategy
+
+
+class TestEventStream:
+    def test_sorted_by_time(self):
+        jobs = [Job(1, 0, 5), Job(1, 2, 3), Job(1, 1, 8)]
+        events = event_stream(jobs)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert len(events) == 6
+
+    def test_departure_before_arrival_at_same_instant(self):
+        # job a departs at t=2, job b arrives at t=2: depart must come first
+        a = Job(1, 0, 2, name="a")
+        b = Job(1, 2, 4, name="b")
+        events = event_stream([a, b])
+        at_two = [e for e in events if e.time == 2.0]
+        assert at_two[0].kind is EventKind.DEPART
+        assert at_two[0].job is a
+        assert at_two[1].kind is EventKind.ARRIVE
+        assert at_two[1].job is b
+
+    def test_tie_broken_by_uid(self):
+        a = Job(1, 0, 5)
+        b = Job(1, 0, 6)
+        events = event_stream([b, a])
+        arrivals = [e.job for e in events if e.kind is EventKind.ARRIVE]
+        assert arrivals == sorted(arrivals, key=lambda j: j.uid)
+
+
+class TestElementarySegments:
+    def test_empty(self):
+        assert elementary_segments([]) == []
+
+    def test_single_job(self):
+        segs = elementary_segments([Job(1, 2, 5)])
+        assert len(segs) == 1
+        assert segs[0].left == 2 and segs[0].right == 5
+
+    def test_gap_between_jobs_omitted(self):
+        segs = elementary_segments([Job(1, 0, 1), Job(1, 3, 4)])
+        assert len(segs) == 2
+        assert all(seg.length == 1.0 for seg in segs)
+
+    def test_overlapping_jobs_split_at_events(self):
+        segs = elementary_segments([Job(1, 0, 4), Job(1, 2, 6)])
+        lefts = [s.left for s in segs]
+        assert lefts == [0, 2, 4]
+
+    @given(jobset_strategy(max_jobs=15))
+    def test_property_segments_cover_busy_span_exactly(self, jobs: JobSet):
+        segs = elementary_segments(list(jobs))
+        total = sum(s.length for s in segs)
+        assert total == __import__("pytest").approx(jobs.busy_span().length, rel=1e-9)
+
+    @given(jobset_strategy(max_jobs=12))
+    def test_property_active_set_constant_on_segment(self, jobs: JobSet):
+        for seg in elementary_segments(list(jobs)):
+            probes = [seg.left, (seg.left + seg.right) / 2]
+            active_sets = [
+                frozenset(j.uid for j in jobs if j.active_at(t)) for t in probes
+            ]
+            assert active_sets[0] == active_sets[1]
+            assert active_sets[0]  # non-empty by construction

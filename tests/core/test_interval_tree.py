@@ -1,0 +1,75 @@
+"""Tests for the static interval tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interval_tree import StaticIntervalTree
+
+
+class TestConstruction:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            StaticIntervalTree([0.0, 1.0], [1.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            StaticIntervalTree([0.0], [1.0, 2.0])
+
+    def test_len(self):
+        tree = StaticIntervalTree([0, 2, 4], [1, 3, 5])
+        assert len(tree) == 3
+
+
+class TestQueries:
+    def test_stab_half_open(self):
+        tree = StaticIntervalTree([0.0], [2.0])
+        assert tree.stab(0.0) == [0]
+        assert tree.stab(1.999) == [0]
+        assert tree.stab(2.0) == []
+
+    def test_stab_multiple(self):
+        tree = StaticIntervalTree([0, 1, 5], [3, 4, 6])
+        assert sorted(tree.stab(2.0)) == [0, 1]
+        assert tree.stab(5.5) == [2]
+        assert tree.stab(4.5) == []
+
+    def test_overlapping_window(self):
+        tree = StaticIntervalTree([0, 3, 6], [2, 5, 8])
+        assert sorted(tree.overlapping(1.0, 4.0)) == [0, 1]
+        assert tree.overlapping(2.0, 3.0) == []  # gap between [0,2) and [3,5)
+        assert sorted(tree.overlapping(0.0, 10.0)) == [0, 1, 2]
+
+    def test_empty_window(self):
+        tree = StaticIntervalTree([0], [1])
+        assert tree.overlapping(0.5, 0.5) == []
+
+    def test_indices_refer_to_original_order(self):
+        # intervals provided unsorted: returned indices must be input positions
+        tree = StaticIntervalTree([5, 0], [6, 1])
+        assert tree.stab(5.5) == [0]
+        assert tree.stab(0.5) == [1]
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0.01, 10)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.floats(-5, 115),
+    st.floats(0.01, 20),
+)
+def test_property_matches_naive_scan(raw, lo, width):
+    lefts = [a for a, _ in raw]
+    rights = [a + d for a, d in raw]
+    tree = StaticIntervalTree(lefts, rights)
+    hi = lo + width
+    naive = [
+        k for k, (l, r) in enumerate(zip(lefts, rights)) if l < hi and lo < r
+    ]
+    assert sorted(tree.overlapping(lo, hi)) == naive
+    t = lo
+    naive_stab = [k for k, (l, r) in enumerate(zip(lefts, rights)) if l <= t < r]
+    assert sorted(tree.stab(t)) == naive_stab

@@ -1,0 +1,191 @@
+"""Unit tests for the half-open interval substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, IntervalSet, union_length
+
+
+class TestInterval:
+    def test_endpoints_match_paper_notation(self):
+        iv = Interval(1.0, 3.5)
+        assert iv.minus == 1.0
+        assert iv.plus == 3.5
+        assert iv.length == 2.5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 2.0)
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, math.inf)
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_maybe_returns_none_for_empty(self):
+        assert Interval.maybe(1.0, 1.0) is None
+        assert Interval.maybe(0.0, 1.0) == Interval(0.0, 1.0)
+
+    def test_half_open_contains(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)  # left endpoint included
+        assert not iv.contains(2.0)  # right endpoint excluded
+        assert iv.contains(1.5)
+        assert not iv.contains(0.999)
+
+    def test_overlap_is_open_at_touch(self):
+        # touching half-open intervals share no point
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+        assert Interval(0, 1.5).overlaps(Interval(1, 2))
+
+    def test_intersect(self):
+        assert Interval(0, 3).intersect(Interval(1, 5)) == Interval(1, 3)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(2, 5))
+        assert not Interval(0, 4).covers(Interval(2, 5))
+        assert Interval(0, 4).covers(Interval(0, 4))
+
+    def test_shift_and_extend(self):
+        assert Interval(1, 2).shift(3.0) == Interval(4, 5)
+        assert Interval(1, 2).extend_right(2.0) == Interval(1, 4)
+        with pytest.raises(ValueError):
+            Interval(1, 2).extend_right(-0.5)
+
+    def test_immutable(self):
+        iv = Interval(0, 1)
+        with pytest.raises(AttributeError):
+            iv.left = 5.0
+
+    def test_ordering_and_hash(self):
+        a, b = Interval(0, 1), Interval(0, 2)
+        assert a < b
+        assert len({a, b, Interval(0, 1)}) == 2
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+        assert s.intervals == (Interval(0, 3), Interval(5, 6))
+
+    def test_touching_intervals_merge(self):
+        s = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        assert s.intervals == (Interval(0, 2),)
+
+    def test_length_of_disjoint_union(self):
+        s = IntervalSet([Interval(0, 1), Interval(2, 4)])
+        assert s.length == 3.0
+
+    def test_equality_is_pointset_equality(self):
+        a = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        b = IntervalSet([Interval(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 1), Interval(5, 7), Interval(10, 11)])
+        assert s.contains(0.5)
+        assert s.contains(5.0)
+        assert not s.contains(7.0)  # half open
+        assert not s.contains(3.0)
+        assert s.contains(10.999)
+        assert not s.contains(11.0)
+
+    def test_member_containing(self):
+        s = IntervalSet([Interval(0, 1), Interval(5, 7)])
+        assert s.member_containing(6.0) == Interval(5, 7)
+        assert s.member_containing(2.0) is None
+
+    def test_covers_interval(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 9)])
+        assert s.covers(Interval(1, 3))
+        assert not s.covers(Interval(3, 7))
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(1, 5)])
+        assert a.union(b) == IntervalSet([Interval(0, 5)])
+
+    def test_intersect(self):
+        a = IntervalSet([Interval(0, 3), Interval(4, 8)])
+        b = IntervalSet([Interval(2, 6)])
+        assert a.intersect(b) == IntervalSet([Interval(2, 3), Interval(4, 6)])
+
+    def test_intersect_empty(self):
+        a = IntervalSet([Interval(0, 1)])
+        b = IntervalSet([Interval(2, 3)])
+        assert a.intersect(b).empty
+
+    def test_extend_members_right_theorem2_shape(self):
+        # I' = [I^-, I^+ + mu * len(I)) per contiguous member
+        s = IntervalSet([Interval(0, 1), Interval(10, 12)])
+        extended = s.extend_members_right(2.0)
+        assert extended == IntervalSet([Interval(0, 3), Interval(10, 16)])
+
+    def test_extend_members_can_merge(self):
+        s = IntervalSet([Interval(0, 4), Interval(5, 6)])
+        # [0,4) doubles to [0,8), swallowing [5,7)
+        assert s.extend_members_right(1.0) == IntervalSet([Interval(0, 8)])
+
+    def test_from_pairs_drops_empty(self):
+        s = IntervalSet.from_pairs([(0, 1), (2, 2), (3, 4)])
+        assert len(s) == 2
+
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert s.empty
+        assert s.length == 0.0
+        assert not s.contains(0.0)
+
+    def test_union_length_helper(self):
+        assert union_length([Interval(0, 2), Interval(1, 3)]) == 3.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0.01, 10)).map(
+            lambda p: Interval(p[0], p[0] + p[1])
+        ),
+        max_size=30,
+    )
+)
+def test_property_normalized_members_disjoint_sorted(ivs):
+    s = IntervalSet(ivs)
+    members = s.intervals
+    for a, b in zip(members[:-1], members[1:]):
+        assert a.right < b.left  # strictly disjoint, not even touching
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0.01, 10)).map(
+            lambda p: Interval(p[0], p[0] + p[1])
+        ),
+        max_size=20,
+    )
+)
+def test_property_length_below_sum_of_parts(ivs):
+    s = IntervalSet(ivs)
+    assert s.length <= sum(iv.length for iv in ivs) + 1e-9
+    if ivs:
+        assert s.length >= max(iv.length for iv in ivs) - 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 50), st.floats(0.01, 5)).map(
+            lambda p: Interval(p[0], p[0] + p[1])
+        ),
+        max_size=15,
+    ),
+    st.floats(0, 60),
+)
+def test_property_membership_matches_any_member(ivs, t):
+    s = IntervalSet(ivs)
+    assert s.contains(t) == any(iv.contains(t) for iv in ivs)

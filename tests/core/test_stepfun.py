@@ -1,0 +1,168 @@
+"""Unit tests for piecewise-constant step functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, IntervalSet, StepFunction, pulse, sum_pulses
+
+
+class TestConstruction:
+    def test_breaks_values_shape(self):
+        with pytest.raises(ValueError):
+            StepFunction([0, 1], [1.0, 2.0])  # too many values
+        with pytest.raises(ValueError):
+            StepFunction([0, 1, 1], [1.0, 2.0])  # non-increasing breaks
+
+    def test_zero(self):
+        z = StepFunction.zero()
+        assert z.integral() == 0.0
+        assert z(0.5) == 0.0
+
+    def test_from_segments_with_gap(self):
+        f = StepFunction.from_segments([(0, 1, 2.0), (3, 4, 5.0)])
+        assert f(0.5) == 2.0
+        assert f(2.0) == 0.0
+        assert f(3.5) == 5.0
+        assert f.integral() == 2.0 + 5.0
+
+    def test_from_segments_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            StepFunction.from_segments([(0, 2, 1.0), (1, 3, 1.0)])
+
+
+class TestEvaluation:
+    def test_right_continuity(self):
+        f = StepFunction([0.0, 1.0, 2.0], [3.0, 7.0])
+        assert f(1.0) == 7.0  # value from the right
+        assert f(0.0) == 3.0
+        assert f(2.0) == 0.0  # outside support
+
+    def test_outside_support_zero(self):
+        f = pulse(1.0, 2.0, 5.0)
+        assert f(0.0) == 0.0
+        assert f(2.5) == 0.0
+
+    def test_vector_evaluation(self):
+        f = pulse(0.0, 2.0, 3.0)
+        out = f(np.array([-1.0, 0.5, 1.5, 3.0]))
+        assert np.allclose(out, [0.0, 3.0, 3.0, 0.0])
+
+    def test_max_and_min_on(self):
+        f = StepFunction([0, 1, 2, 3], [1.0, 5.0, 2.0])
+        assert f.max() == 5.0
+        assert f.min_on(Interval(1, 3)) == 2.0
+        assert f.min_on(Interval(0, 3)) == 1.0
+        # outside the support the function is 0
+        assert f.min_on(Interval(0, 4)) == 0.0
+
+
+class TestIntegration:
+    def test_integral_exact(self):
+        f = StepFunction([0, 2, 5], [3.0, 1.0])
+        assert f.integral() == 2 * 3.0 + 3 * 1.0
+
+    def test_integral_on_interval_set(self):
+        f = StepFunction([0, 10], [2.0])
+        s = IntervalSet([Interval(1, 3), Interval(5, 6)])
+        assert f.integral_on(s) == 2.0 * 3.0
+
+    def test_integral_on_partially_outside(self):
+        f = pulse(0, 4, 1.0)
+        s = IntervalSet([Interval(3, 10)])
+        assert f.integral_on(s) == 1.0
+
+
+class TestSuperlevel:
+    def test_superlevel_merges_adjacent(self):
+        f = StepFunction([0, 1, 2, 3, 4], [1.0, 2.0, 2.0, 0.0])
+        assert f.superlevel(2.0) == IntervalSet([Interval(1, 3)])
+
+    def test_superlevel_strict(self):
+        f = StepFunction([0, 1, 2], [2.0, 3.0])
+        assert f.superlevel(2.0, strict=True) == IntervalSet([Interval(1, 2)])
+
+    def test_superlevel_empty(self):
+        f = pulse(0, 1, 1.0)
+        assert f.superlevel(5.0).empty
+
+
+class TestAlgebra:
+    def test_add(self):
+        f = pulse(0, 2, 1.0) + pulse(1, 3, 2.0)
+        assert f(0.5) == 1.0
+        assert f(1.5) == 3.0
+        assert f(2.5) == 2.0
+
+    def test_subtract(self):
+        f = pulse(0, 4, 3.0) - pulse(1, 2, 1.0)
+        assert f(1.5) == 2.0
+        assert f(0.5) == 3.0
+
+    def test_maximum(self):
+        f = pulse(0, 2, 1.0).maximum(pulse(1, 3, 4.0))
+        assert f(0.5) == 1.0
+        assert f(2.5) == 4.0
+
+    def test_scale(self):
+        assert pulse(0, 1, 2.0).scale(3.0)(0.5) == 6.0
+
+    def test_map_requires_zero_fixed_point(self):
+        f = pulse(0, 1, 2.0)
+        with pytest.raises(ValueError):
+            f.map(lambda v: v + 1.0)
+        assert f.map(lambda v: v * 2)(0.5) == 4.0
+
+    def test_compact_merges_equal_segments(self):
+        f = StepFunction([0, 1, 2, 3], [2.0, 2.0, 2.0]).compact()
+        assert f.values.size == 1
+
+    def test_equality_modulo_compaction(self):
+        a = StepFunction([0, 1, 2], [3.0, 3.0])
+        b = StepFunction([0, 2], [3.0])
+        assert a == b
+
+
+class TestSumPulses:
+    def test_basic_demand_profile(self):
+        f = sum_pulses([(0, 4, 1.0), (1, 3, 2.0), (2, 6, 0.5)])
+        assert f(0.5) == 1.0
+        assert f(1.5) == 3.0
+        assert f(2.5) == pytest.approx(3.5)
+        assert f(5.0) == 0.5
+
+    def test_empty(self):
+        assert sum_pulses([]).integral() == 0.0
+
+    def test_rejects_empty_pulse(self):
+        with pytest.raises(ValueError):
+            sum_pulses([(1, 1, 2.0)])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0.1, 10), st.floats(0.1, 5)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_property_matches_pairwise_addition(self, raw):
+        pulses = [(a, a + d, h) for a, d, h in raw]
+        fast = sum_pulses(pulses)
+        slow = StepFunction.zero()
+        for left, right, height in pulses:
+            slow = slow + pulse(left, right, height)
+        mids = np.linspace(-1, 70, 200)
+        assert np.allclose(fast(mids), slow(mids), atol=1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0.1, 10), st.floats(0.1, 5)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_property_integral_is_total_area(self, raw):
+        pulses = [(a, a + d, h) for a, d, h in raw]
+        f = sum_pulses(pulses)
+        expected = sum((r - l) * h for l, r, h in pulses)
+        assert f.integral() == pytest.approx(expected, rel=1e-6, abs=1e-9)

@@ -1,0 +1,43 @@
+"""Tests for the LP relaxation bound."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Job, JobSet, dec_ladder, lower_bound, solve_optimal
+from repro.exact.lp_relax import lp_relaxation_bound
+from tests.conftest import jobset_strategy
+
+
+class TestLpRelaxation:
+    def test_empty(self, dec3):
+        assert lp_relaxation_bound(JobSet(), dec3) == 0.0
+
+    def test_single_job_tight(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4)])
+        assert lp_relaxation_bound(jobs, dec3) == pytest.approx(4.0)
+
+    def test_below_milp_optimum(self, dec3, rng):
+        from repro import uniform_workload
+
+        jobs = uniform_workload(6, rng, max_size=dec3.capacity(3))
+        lp = lp_relaxation_bound(jobs, dec3)
+        opt = solve_optimal(jobs, dec3).cost
+        assert lp <= opt + 1e-6 * max(1.0, opt)
+
+    def test_size_limit(self, dec3, rng):
+        from repro import uniform_workload
+
+        jobs = uniform_workload(40, rng, max_size=1.0)
+        with pytest.raises(ValueError):
+            lp_relaxation_bound(jobs, dec3)
+
+    @settings(deadline=None, max_examples=10)
+    @given(jobset_strategy(min_jobs=1, max_jobs=5, max_size=8.0))
+    def test_property_sandwich(self, jobs):
+        """LP relaxation sits below OPT; both LB styles are valid bounds."""
+        ladder = dec_ladder(3)
+        lp = lp_relaxation_bound(jobs, ladder)
+        opt = solve_optimal(jobs, ladder).cost
+        eq1 = lower_bound(jobs, ladder).value
+        assert lp <= opt * (1 + 1e-6) + 1e-9
+        assert eq1 <= opt * (1 + 1e-6) + 1e-9

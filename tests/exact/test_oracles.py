@@ -1,0 +1,82 @@
+"""Unit and cross-check tests for the exact solvers (MILP + brute force)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Job,
+    JobSet,
+    brute_force_optimal,
+    dec_ladder,
+    lower_bound,
+    solve_optimal,
+)
+from repro.schedule.validate import assert_feasible
+from tests.conftest import jobset_strategy
+
+
+class TestMilp:
+    def test_empty(self, dec3):
+        res = solve_optimal(JobSet(), dec3)
+        assert res.cost == 0.0
+
+    def test_single_job(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4)])
+        res = solve_optimal(jobs, dec3)
+        assert res.cost == pytest.approx(4.0)  # type 1, rate 1, 4 time units
+        assert_feasible(res.schedule, jobs)
+
+    def test_schedule_cost_matches_objective(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4), Job(0.7, 1, 5), Job(2.0, 2, 6)])
+        res = solve_optimal(jobs, dec3)
+        assert res.schedule.cost() == pytest.approx(res.cost, rel=1e-6)
+
+    def test_sharing_beats_solo(self, dec3):
+        # two tiny overlapping jobs: optimal shares one type-1 machine
+        jobs = JobSet([Job(0.4, 0, 4), Job(0.4, 0, 4)])
+        res = solve_optimal(jobs, dec3)
+        assert res.cost == pytest.approx(4.0)
+
+    def test_too_many_jobs_rejected(self, dec3, rng):
+        from repro import uniform_workload
+
+        jobs = uniform_workload(20, rng, max_size=1.0)
+        with pytest.raises(ValueError):
+            solve_optimal(jobs, dec3)
+
+    def test_dec_economies_of_scale(self, dec3):
+        # nine 1.0-jobs overlapping: 9 type-1 (cost 9/unit time) vs
+        # 1 type-3 (cost 4/unit time): MILP must find the type-3 bundling
+        jobs = JobSet([Job(1.0, 0, 2, name=f"j{i}") for i in range(9)])
+        res = solve_optimal(jobs, dec3)
+        assert res.cost == pytest.approx(8.0)
+
+
+class TestBruteForce:
+    def test_matches_milp_small(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4), Job(0.7, 1, 5), Job(2.0, 2, 6)])
+        assert brute_force_optimal(jobs, dec3).cost() == pytest.approx(
+            solve_optimal(jobs, dec3).cost, rel=1e-9
+        )
+
+    def test_limit(self, dec3, rng):
+        from repro import uniform_workload
+
+        jobs = uniform_workload(9, rng, max_size=1.0)
+        with pytest.raises(ValueError):
+            brute_force_optimal(jobs, dec3, max_jobs=8)
+
+    def test_empty(self, dec3):
+        assert brute_force_optimal(JobSet(), dec3).cost() == 0.0
+
+
+@settings(deadline=None, max_examples=15)
+@given(jobset_strategy(min_jobs=1, max_jobs=5, max_size=8.0))
+def test_property_milp_equals_bruteforce_and_dominates_lb(jobs):
+    ladder = dec_ladder(3)  # capacity 9 fits sizes <= 8
+    milp = solve_optimal(jobs, ladder)
+    brute = brute_force_optimal(jobs, ladder)
+    assert_feasible(milp.schedule, jobs)
+    assert_feasible(brute, jobs)
+    assert milp.cost == pytest.approx(brute.cost(), rel=1e-6)
+    assert lower_bound(jobs, ladder).value <= milp.cost * (1 + 1e-6) + 1e-9

@@ -1,0 +1,44 @@
+"""Every experiment runs at quick scale, produces rows, and passes."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+
+
+@pytest.mark.parametrize("eid", sorted(ALL_EXPERIMENTS))
+def test_experiment_quick_pass(eid):
+    result = run_experiment(eid, scale="quick")
+    assert result.passed, result.render()
+    assert result.rows
+    assert result.table
+    assert result.experiment_id == eid
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        run_experiment("E99")
+
+
+def test_case_insensitive_lookup():
+    result = run_experiment("e9", scale="quick")
+    assert result.experiment_id == "E9"
+
+
+def test_render_contains_status():
+    result = run_experiment("E9", scale="quick")
+    assert "status: PASS" in result.render()
+
+
+def test_invalid_scale():
+    with pytest.raises(ValueError):
+        run_experiment("E1", scale="huge")
+
+
+def test_experiments_deterministic():
+    a = run_experiment("E1", scale="quick")
+    b = run_experiment("E1", scale="quick")
+    # drop the timing column before comparing
+    strip = lambda rows: [  # noqa: E731
+        {k: v for k, v in row.items() if k != "sec"} for row in rows
+    ]
+    assert strip(a.rows) == strip(b.rows)

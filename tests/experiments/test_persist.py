@@ -1,0 +1,31 @@
+"""Tests for experiment persistence."""
+
+import json
+
+from repro.experiments import run_experiment
+from repro.experiments.persist import load_manifest, save_result
+
+
+class TestPersist:
+    def test_save_result_writes_artifacts(self, tmp_path):
+        result = run_experiment("E9", scale="quick")
+        base = save_result(result, tmp_path)
+        assert (base / "rows.csv").exists()
+        assert (base / "table.txt").exists()
+        assert (base / "manifest.json").exists()
+        assert (base / "fig2-forest.txt").exists()
+
+    def test_manifest_content(self, tmp_path):
+        result = run_experiment("E9", scale="quick")
+        save_result(result, tmp_path)
+        manifest = load_manifest(tmp_path, "E9")
+        assert manifest["experiment_id"] == "E9"
+        assert manifest["passed"] is True
+        assert manifest["n_rows"] == 3
+
+    def test_rows_csv_deterministic(self, tmp_path):
+        r1 = run_experiment("E9", scale="quick")
+        r2 = run_experiment("E9", scale="quick")
+        d1 = save_result(r1, tmp_path / "a")
+        d2 = save_result(r2, tmp_path / "b")
+        assert (d1 / "rows.csv").read_text() == (d2 / "rows.csv").read_text()

@@ -1,0 +1,86 @@
+"""Cross-feature composition: the extensions work together.
+
+Real usage chains features: generate → normalize → schedule (windowed) →
+re-price (billing) → report → persist.  These tests run those chains end to
+end, which catches interface drift that per-module tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BillingModel,
+    DecOnlineScheduler,
+    JournalingScheduler,
+    billed_cost,
+    certify_dec_online,
+    day_night_workload,
+    dec_ladder,
+    dec_offline,
+    ec2_like_ladder,
+    lower_bound,
+    normalize,
+    run_online,
+    schedule_report,
+    windowed_schedule,
+)
+from repro.schedule.validate import assert_feasible
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(161803)
+
+
+class TestPipelines:
+    def test_normalize_window_bill_report(self, rng):
+        """EC2 catalogue -> normalized windowed scheduling -> hourly invoice
+        -> markdown report, all coherent."""
+        catalogue = ec2_like_ladder(4, price_exponent=0.8)
+        norm = normalize(catalogue)
+        jobs = day_night_workload(80, rng, max_size=catalogue.capacity(4) / 2)
+
+        sched_norm = windowed_schedule(jobs, norm.normalized, dec_offline, window=12.0)
+        sched = norm.realize_schedule(sched_norm)
+        assert_feasible(sched, jobs)
+
+        fluid = sched.cost()
+        hourly = billed_cost(sched, BillingModel(period=1.0))
+        assert hourly >= fluid
+
+        report = schedule_report(sched, jobs, algorithm="windowed+normalized")
+        assert f"{fluid:.4f}" in report
+
+    def test_journaled_online_run_is_certifiable(self, rng):
+        """Wrapping DEC-ONLINE in a journal must not break the Theorem-2
+        certificate (machine tags flow through unchanged)."""
+        ladder = dec_ladder(3)
+        jobs = day_night_workload(60, rng, max_size=ladder.capacity(3))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        sched = run_online(jobs, wrapped)
+        cert = certify_dec_online(jobs, ladder, sched)
+        assert cert.lemma1_holds
+        assert not cert.lemma3_violations
+        assert len(wrapped.journal.decisions) == len(jobs)
+
+    def test_certificate_across_ladder_widths(self, rng):
+        """The Theorem-2 certificate machinery is m-agnostic."""
+        for m in (2, 4):
+            ladder = dec_ladder(m)
+            jobs = day_night_workload(50, rng, max_size=ladder.capacity(m))
+            sched = run_online(jobs, DecOnlineScheduler(ladder))
+            cert = certify_dec_online(jobs, ladder, sched)
+            assert cert.lemma1_holds
+            assert not cert.lemma3_violations
+            assert cert.actual_cost <= cert.certified_bound + 1e-6
+
+    def test_experiment_persistence_roundtrip(self, tmp_path):
+        """Save E21 artifacts and read the manifest back."""
+        from repro.experiments import run_experiment
+        from repro.experiments.persist import load_manifest, save_result
+
+        result = run_experiment("E21", scale="quick")
+        save_result(result, tmp_path)
+        manifest = load_manifest(tmp_path, "E21")
+        assert manifest["passed"]
+        assert (tmp_path / "e21" / "rows.csv").read_text().startswith("parameter")

@@ -1,0 +1,64 @@
+"""Direct empirical validation of Lemma 4 (Section IV).
+
+Lemma 4: at any time t, the *partitioned* machine configuration
+``sum_i ceil(s(J_i, t) / g_i) * r_i`` costs at most ``9/4`` times the optimal
+configuration ``sum_i w*(i, t) * r_i`` on BSHM-INC ladders.
+
+This is the load-bearing inequality behind both INC algorithms; we check it
+pointwise (per elementary segment) on randomized instances and ladders.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import JobSet, inc_ladder, lower_bound, uniform_workload
+from tests.conftest import inc_ladder_strategy, jobset_strategy
+
+
+def partitioned_rate(jobs: JobSet, t: float, ladder) -> float:
+    total = 0.0
+    for i, cls in enumerate(jobs.size_partition(ladder.capacities), start=1):
+        demand = cls.demand_at(t)
+        if demand > 1e-12:
+            total += math.ceil(demand / ladder.capacity(i) - 1e-12) * ladder.rate(i)
+    return total
+
+
+class TestLemma4:
+    def test_on_random_workloads(self, rng):
+        ladder = inc_ladder(4)
+        for _ in range(3):
+            jobs = uniform_workload(60, rng, max_size=ladder.capacity(4))
+            lb = lower_bound(jobs, ladder)
+            for seg, opt_rate in zip(lb.segments, lb.rates):
+                mid = (seg.left + seg.right) / 2
+                assert partitioned_rate(jobs, mid, ladder) <= 2.25 * opt_rate + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=15, max_size=4.0), inc_ladder_strategy(max_m=4))
+    def test_property_lemma4(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        lb = lower_bound(jobs, ladder)
+        for seg, opt_rate in zip(lb.segments, lb.rates):
+            mid = (seg.left + seg.right) / 2
+            assert partitioned_rate(jobs, mid, ladder) <= 2.25 * opt_rate + 1e-9
+
+    def test_factor_can_exceed_one(self, rng):
+        """The partition genuinely loses something: find an instant where the
+        partitioned rate is strictly above the optimal configuration's."""
+        ladder = inc_ladder(3)
+        found_loss = False
+        for trial in range(20):
+            jobs = uniform_workload(30, rng, max_size=ladder.capacity(3))
+            lb = lower_bound(jobs, ladder)
+            for seg, opt_rate in zip(lb.segments, lb.rates):
+                mid = (seg.left + seg.right) / 2
+                if partitioned_rate(jobs, mid, ladder) > opt_rate + 1e-9:
+                    found_loss = True
+                    break
+            if found_loss:
+                break
+        assert found_loss

@@ -1,0 +1,147 @@
+"""Integration tests: every paper claim on moderately sized instances.
+
+These run the full pipelines (generator → algorithm → validator → lower
+bound) at a scale where the asymptotic behaviour is visible but tests stay
+fast.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheapestFitGreedy,
+    DecOnlineScheduler,
+    GeneralOnlineScheduler,
+    IncOnlineScheduler,
+    LargestTypeFirstFit,
+    OneJobPerMachine,
+    bounded_mu_workload,
+    day_night_workload,
+    dec_ladder,
+    dec_offline,
+    general_offline,
+    inc_ladder,
+    inc_offline,
+    lower_bound,
+    paper_fig2_ladder,
+    poisson_workload,
+    run_online,
+    uniform_workload,
+)
+from repro.schedule.validate import assert_feasible
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20200518)  # IPDPS 2020 conference date
+
+
+WORKLOAD_MAKERS = [
+    ("uniform", lambda n, rng, gmax: uniform_workload(n, rng, max_size=gmax)),
+    ("poisson", lambda n, rng, gmax: poisson_workload(n, rng, max_size=gmax)),
+    ("day-night", lambda n, rng, gmax: day_night_workload(n, rng, max_size=gmax)),
+]
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("wname,make", WORKLOAD_MAKERS)
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_dec_offline_under_14(self, rng, wname, make, m):
+        ladder = dec_ladder(m)
+        jobs = make(150, rng, ladder.capacity(m))
+        sched = dec_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= 14.0 * lb
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("mu", [1.0, 4.0, 16.0])
+    def test_dec_online_under_32_mu_plus_1(self, rng, mu):
+        ladder = dec_ladder(3)
+        jobs = bounded_mu_workload(150, rng, mu=mu, max_size=ladder.capacity(3))
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= 32.0 * (jobs.mu + 1.0) * lb
+
+
+class TestSectionIV:
+    @pytest.mark.parametrize("wname,make", WORKLOAD_MAKERS)
+    def test_inc_offline_under_9(self, rng, wname, make):
+        ladder = inc_ladder(4)
+        jobs = make(150, rng, ladder.capacity(4))
+        sched = inc_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= 9.0 * lb
+
+    @pytest.mark.parametrize("mu", [1.0, 8.0])
+    def test_inc_online_under_bound(self, rng, mu):
+        ladder = inc_ladder(4)
+        jobs = bounded_mu_workload(150, rng, mu=mu, max_size=ladder.capacity(4))
+        sched = run_online(jobs, IncOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= (2.25 * jobs.mu + 6.75) * lb
+
+
+class TestSectionV:
+    def test_general_offline_sqrt_m_shape(self, rng):
+        ladder = paper_fig2_ladder()
+        jobs = uniform_workload(150, rng, max_size=ladder.capacity(8))
+        sched = general_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= 14.0 * math.sqrt(8) * lb
+
+    def test_general_online_sqrt_m_mu_shape(self, rng):
+        ladder = paper_fig2_ladder()
+        jobs = bounded_mu_workload(150, rng, mu=4.0, max_size=ladder.capacity(8))
+        sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        assert sched.cost() <= 32.0 * math.sqrt(8) * (jobs.mu + 1.0) * lb
+
+
+class TestCrossAlgorithm:
+    def test_offline_usually_beats_naive_on_dec(self, rng):
+        """The headline 'who wins': DEC-OFFLINE vs one-job-per-machine on a
+        packable day-night workload over a DEC ladder."""
+        ladder = dec_ladder(3)
+        jobs = day_night_workload(200, rng, max_size=ladder.capacity(3) / 4)
+        smart = dec_offline(jobs, ladder)
+        naive = run_online(jobs, OneJobPerMachine(ladder))
+        assert smart.cost() < naive.cost()
+
+    def test_largest_type_wasteful_on_light_load(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(40, rng, max_size=0.3, horizon=400.0)
+        smart = dec_offline(jobs, ladder)
+        big_only = run_online(jobs, LargestTypeFirstFit(ladder))
+        assert smart.cost() < big_only.cost()
+
+    def test_all_algorithms_above_lower_bound(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(80, rng, max_size=ladder.capacity(3))
+        lb = lower_bound(jobs, ladder).value
+        for sched in (
+            dec_offline(jobs, ladder),
+            general_offline(jobs, ladder),
+            run_online(jobs, DecOnlineScheduler(ladder)),
+            run_online(jobs, GeneralOnlineScheduler(ladder)),
+            run_online(jobs, OneJobPerMachine(ladder)),
+            run_online(jobs, CheapestFitGreedy(ladder)),
+        ):
+            assert sched.cost() >= lb - 1e-6
+
+    def test_online_never_beats_clairvoyant_oracle_small(self, rng):
+        from repro import solve_optimal
+
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(8, rng, max_size=ladder.capacity(3))
+        opt = solve_optimal(jobs, ladder)
+        onl = run_online(jobs, DecOnlineScheduler(ladder))
+        assert onl.cost() >= opt.cost - 1e-6

@@ -1,0 +1,86 @@
+"""Tests for the advanced workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.jobs.generators.advanced import (
+    flash_crowd_workload,
+    mmpp_workload,
+    replay_arrays,
+    sawtooth_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestMmpp:
+    def test_shape(self, rng):
+        jobs = mmpp_workload(100, rng, max_size=2.0)
+        assert len(jobs) == 100
+        assert jobs.max_size <= 2.0
+
+    def test_burstier_than_poisson(self, rng):
+        """MMPP inter-arrival CV^2 should exceed 1 (Poisson's value)."""
+        jobs = mmpp_workload(
+            2000, rng, quiet_rate=0.2, busy_rate=20.0, switch_rate=0.05
+        )
+        arrivals = np.sort([j.arrival for j in jobs])
+        gaps = np.diff(arrivals)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_deterministic(self):
+        a = mmpp_workload(50, np.random.default_rng(1))
+        b = mmpp_workload(50, np.random.default_rng(1))
+        assert [j.arrival for j in a] == [j.arrival for j in b]
+
+
+class TestFlashCrowd:
+    def test_crowd_concentrated(self, rng):
+        jobs = flash_crowd_workload(
+            300, rng, horizon=100.0, crowd_fraction=0.5, crowd_center=50.0,
+            crowd_width=2.0,
+        )
+        crowd = [j for j in jobs if j.name.startswith("crowd")]
+        assert len(crowd) == 150
+        assert all(abs(j.arrival - 50.0) < 10.0 for j in crowd)
+
+    def test_crowd_jobs_small_and_short(self, rng):
+        jobs = flash_crowd_workload(200, rng, max_size=4.0)
+        crowd = [j for j in jobs if j.name.startswith("crowd")]
+        base = [j for j in jobs if j.name.startswith("base")]
+        assert np.mean([j.size for j in crowd]) < np.mean([j.size for j in base])
+        assert np.mean([j.duration for j in crowd]) < np.mean(
+            [j.duration for j in base]
+        )
+
+
+class TestSawtooth:
+    def test_structure(self):
+        jobs = sawtooth_workload(3, 5, tooth_period=10.0, job_duration=3.0)
+        assert len(jobs) == 15
+        # all jobs of tooth 0 are gone before tooth 1's last job arrives
+        tooth0 = [j for j in jobs if j.name.startswith("T0")]
+        assert max(j.departure for j in tooth0) <= 10.0 + 3.0
+
+    def test_demand_cliffs(self):
+        jobs = sawtooth_workload(2, 8, tooth_period=10.0, job_duration=3.0)
+        profile = jobs.demand_profile()
+        assert profile.max() >= 2 * 0.5  # at least some stacking
+
+
+class TestReplayArrays:
+    def test_roundtrip(self):
+        sizes = np.array([1.0, 2.0])
+        arrivals = np.array([0.0, 1.0])
+        departures = np.array([5.0, 4.0])
+        jobs = replay_arrays(sizes, arrivals, departures, name_prefix="t")
+        assert len(jobs) == 2
+        assert jobs.jobs[0].name == "t0"
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            replay_arrays(np.ones(2), np.zeros(3), np.ones(3))

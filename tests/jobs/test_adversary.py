@@ -1,0 +1,76 @@
+"""Tests for the adaptive lower-bound adversary ([11])."""
+
+import pytest
+
+from repro import (
+    DecOnlineScheduler,
+    IncOnlineScheduler,
+    dec_ladder,
+    inc_ladder,
+    lower_bound,
+    run_online,
+)
+from repro.jobs.generators.adversary import batch_trap, ff_trap
+from repro.schedule.validate import assert_feasible
+
+
+class TestBatchTrap:
+    def test_instance_shape(self):
+        ladder = dec_ladder(3)
+        jobs = batch_trap(DecOnlineScheduler, ladder, mu=8.0, jobs_per_machine=10)
+        assert jobs.mu == pytest.approx(8.0)
+        # all jobs arrive together
+        assert len({j.arrival for j in jobs}) == 1
+        # exactly two duration values: short and long
+        assert len({round(j.duration, 9) for j in jobs}) == 2
+
+    def test_one_survivor_per_machine(self):
+        """The adversary keeps exactly as many long jobs as the probed
+        scheduler opened machines."""
+        ladder = dec_ladder(3)
+        jobs = batch_trap(DecOnlineScheduler, ladder, mu=8.0)
+        long_jobs = [j for j in jobs if j.duration > 1.5]
+        # replaying the same deterministic scheduler opens the same machines
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        machines_used = len(sched.machines())
+        assert len(long_jobs) <= machines_used
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            batch_trap(DecOnlineScheduler, dec_ladder(2), mu=0.5)
+
+    def test_ratio_grows_with_mu(self):
+        """The heart of the [11] reproduction: the measured ratio on the trap
+        must grow as mu grows (no saturation)."""
+        ladder = dec_ladder(3)
+        ratios = []
+        for mu in (2.0, 16.0, 64.0):
+            jobs = batch_trap(DecOnlineScheduler, ladder, mu=mu)
+            sched = run_online(jobs, DecOnlineScheduler(ladder))
+            assert_feasible(sched, jobs)
+            ratios.append(sched.cost() / lower_bound(jobs, ladder).value)
+        assert ratios[1] > ratios[0]
+        assert ratios[2] > ratios[1]
+        assert ratios[2] > 2 * ratios[0]
+
+    def test_works_against_inc_online_too(self):
+        ladder = inc_ladder(3)
+        jobs = batch_trap(IncOnlineScheduler, ladder, mu=8.0)
+        sched = run_online(jobs, IncOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+
+
+class TestFfTrap:
+    def test_multiple_batches_disjoint_in_time(self):
+        ladder = dec_ladder(3)
+        jobs = ff_trap(DecOnlineScheduler, ladder, batches=3, mu=4.0)
+        starts = sorted({j.arrival for j in jobs})
+        assert len(starts) == 3
+        # batches spaced beyond the long tail
+        for a, b in zip(starts[:-1], starts[1:]):
+            assert b - a > 4.0
+
+    def test_overall_mu_preserved(self):
+        ladder = dec_ladder(3)
+        jobs = ff_trap(DecOnlineScheduler, ladder, batches=2, mu=8.0)
+        assert jobs.mu == pytest.approx(8.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    adversarial_staircase,
+    bounded_mu_workload,
+    bursty_workload,
+    day_night_workload,
+    poisson_workload,
+    uniform_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+ALL_GENERATORS = [
+    lambda n, rng: uniform_workload(n, rng, max_size=4.0),
+    lambda n, rng: poisson_workload(n, rng, max_size=4.0),
+    lambda n, rng: bounded_mu_workload(n, rng, mu=4.0, max_size=4.0),
+    lambda n, rng: day_night_workload(n, rng, max_size=4.0),
+    lambda n, rng: bursty_workload(n, rng, max_size=4.0),
+]
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_generators_produce_valid_jobsets(make, rng):
+    jobs = make(50, rng)
+    assert len(jobs) == 50
+    for job in jobs:
+        assert job.size > 0
+        assert job.arrival < job.departure
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_generators_respect_max_size(make, rng):
+    jobs = make(200, rng)
+    assert jobs.max_size <= 4.0 + 1e-12
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_generators_deterministic_under_seed(make):
+    a = make(30, np.random.default_rng(7))
+    b = make(30, np.random.default_rng(7))
+    assert [(j.size, j.arrival, j.departure) for j in a] == [
+        (j.size, j.arrival, j.departure) for j in b
+    ]
+
+
+class TestBoundedMu:
+    def test_mu_respected(self, rng):
+        jobs = bounded_mu_workload(300, rng, mu=4.0)
+        assert jobs.mu <= 4.0 + 1e-9
+
+    def test_mu_one_means_uniform_durations(self, rng):
+        jobs = bounded_mu_workload(50, rng, mu=1.0)
+        durations = {round(j.duration, 9) for j in jobs}
+        assert len(durations) == 1
+
+    def test_invalid_mu(self, rng):
+        with pytest.raises(ValueError):
+            bounded_mu_workload(10, rng, mu=0.5)
+
+
+class TestDayNight:
+    def test_peak_hours_busier_than_trough(self, rng):
+        jobs = day_night_workload(3000, rng, period=24.0, days=10.0, peak_to_trough=6.0)
+        # intensity peaks where sin = 1 (t = 6 mod 24), troughs at t = 18 mod 24
+        peak_count = sum(1 for j in jobs if (j.arrival % 24.0) // 3 == 2)  # [6, 9)
+        trough_count = sum(1 for j in jobs if (j.arrival % 24.0) // 3 == 6)  # [18, 21)
+        assert peak_count > 2 * trough_count
+
+    def test_horizon(self, rng):
+        jobs = day_night_workload(100, rng, period=24.0, days=2.0)
+        assert all(0 <= j.arrival <= 48.0 for j in jobs)
+
+
+class TestBursty:
+    def test_arrivals_clustered(self, rng):
+        jobs = bursty_workload(200, rng, bursts=3, horizon=100.0, burst_width=1.0)
+        arrivals = sorted(j.arrival for j in jobs)
+        # 200 arrivals within 3 bursts of width 1 => span of arrivals tiny
+        # compared to horizon when grouped; at least verify few distinct
+        # 2-unit buckets are occupied
+        buckets = {int(a // 2.0) for a in arrivals}
+        assert len(buckets) <= 6
+
+
+class TestStaircase:
+    def test_structure(self):
+        jobs = adversarial_staircase(8, max_size=4.0)
+        assert len(jobs) == 8
+        arrivals = [j.arrival for j in jobs.jobs]
+        assert arrivals == sorted(arrivals)
+        # departures strictly staggered: one job drains at a time
+        departures = sorted(j.departure for j in jobs)
+        assert len(set(departures)) == 8
+
+    def test_mu_grows_with_levels(self):
+        small = adversarial_staircase(4)
+        large = adversarial_staircase(32)
+        assert large.mu > small.mu

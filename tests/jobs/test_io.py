@@ -1,0 +1,83 @@
+"""Tests for trace/ladder/schedule I/O."""
+
+import numpy as np
+import pytest
+
+from repro import dec_ladder, dec_offline, uniform_workload
+from repro.jobs.io import (
+    read_instance_json,
+    read_jobs_csv,
+    read_ladder_csv,
+    write_instance_json,
+    write_jobs_csv,
+    write_ladder_csv,
+    write_schedule_csv,
+)
+
+
+@pytest.fixture
+def jobs(rng):
+    return uniform_workload(25, rng, max_size=9.0)
+
+
+class TestJobsCsv:
+    def test_roundtrip(self, tmp_path, jobs):
+        path = tmp_path / "trace.csv"
+        write_jobs_csv(jobs, path)
+        loaded = read_jobs_csv(path)
+        assert len(loaded) == len(jobs)
+        original = sorted((j.size, j.arrival, j.departure, j.name) for j in jobs)
+        restored = sorted((j.size, j.arrival, j.departure, j.name) for j in loaded)
+        assert original == restored
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_jobs_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("size,arrival,departure\n1.0,0.0,oops\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_jobs_csv(path)
+
+    def test_invalid_job_caught(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("size,arrival,departure\n1.0,5.0,3.0\n")  # departs before arrival
+        with pytest.raises(ValueError):
+            read_jobs_csv(path)
+
+
+class TestLadderCsv:
+    def test_roundtrip(self, tmp_path, dec3):
+        path = tmp_path / "ladder.csv"
+        write_ladder_csv(dec3, path)
+        loaded = read_ladder_csv(path)
+        assert loaded == dec3
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError, match="capacity,rate"):
+            read_ladder_csv(path)
+
+
+class TestScheduleCsv:
+    def test_write(self, tmp_path, jobs, dec3):
+        sched = dec_offline(jobs, dec3)
+        path = tmp_path / "out.csv"
+        write_schedule_csv(sched, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "job,size,arrival,departure,type,machine"
+        assert len(lines) == len(jobs) + 1
+
+
+class TestInstanceJson:
+    def test_roundtrip(self, tmp_path, jobs, dec3):
+        path = tmp_path / "instance.json"
+        write_instance_json(jobs, dec3, path)
+        loaded_jobs, loaded_ladder = read_instance_json(path)
+        assert loaded_ladder == dec3
+        assert len(loaded_jobs) == len(jobs)
+        assert sorted(j.size for j in loaded_jobs) == sorted(j.size for j in jobs)

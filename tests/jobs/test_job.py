@@ -1,0 +1,75 @@
+"""Unit tests for the Job model."""
+
+import pytest
+
+from repro import Interval, Job
+
+
+class TestJobConstruction:
+    def test_basic(self):
+        j = Job(size=2.5, arrival=1.0, departure=4.0, name="x")
+        assert j.size == 2.5
+        assert j.interval == Interval(1.0, 4.0)
+        assert j.duration == 3.0
+        assert j.name == "x"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Job(size=0.0, arrival=0, departure=1)
+        with pytest.raises(ValueError):
+            Job(size=-1.0, arrival=0, departure=1)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Job(size=1, arrival=5, departure=5)
+        with pytest.raises(ValueError):
+            Job(size=1, arrival=5, departure=3)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Job(size=float("inf"), arrival=0, departure=1)
+        with pytest.raises(ValueError):
+            Job(size=1, arrival=0, departure=float("inf"))
+
+    def test_auto_uid_unique(self):
+        a, b = Job(1, 0, 1), Job(1, 0, 1)
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_explicit_uid_and_default_name(self):
+        j = Job(1, 0, 1, uid=777)
+        assert j.uid == 777
+        assert j.name == "J777"
+
+    def test_immutable(self):
+        j = Job(1, 0, 1)
+        with pytest.raises(AttributeError):
+            j.size = 2.0
+
+
+class TestJobQueries:
+    def test_active_at_half_open(self):
+        j = Job(1, 2.0, 5.0)
+        assert j.active_at(2.0)
+        assert j.active_at(4.999)
+        assert not j.active_at(5.0)
+        assert not j.active_at(1.999)
+
+    def test_size_class_boundaries(self):
+        caps = (1.0, 3.0, 9.0)
+        # class i: size in (g_{i-1}, g_i]
+        assert Job(1.0, 0, 1).size_class(caps) == 1  # exactly g_1 -> class 1
+        assert Job(1.0001, 0, 1).size_class(caps) == 2
+        assert Job(3.0, 0, 1).size_class(caps) == 2
+        assert Job(9.0, 0, 1).size_class(caps) == 3
+        assert Job(0.1, 0, 1).size_class(caps) == 1
+
+    def test_size_class_too_big(self):
+        with pytest.raises(ValueError):
+            Job(10.0, 0, 1).size_class((1.0, 3.0, 9.0))
+
+    def test_equality_by_uid(self):
+        j = Job(1, 0, 1, uid=5)
+        k = Job(9, 7, 8, uid=5)  # same uid, different payload
+        assert j == k
+        assert hash(j) == hash(k)

@@ -1,0 +1,124 @@
+"""Unit tests for JobSet aggregate queries."""
+
+import pytest
+from hypothesis import given
+
+from repro import Interval, Job, JobSet
+from tests.conftest import jobset_strategy
+
+
+class TestBasics:
+    def test_sorted_by_arrival(self):
+        a = Job(1, 5, 6)
+        b = Job(1, 1, 9)
+        js = JobSet([a, b])
+        assert js.jobs[0] is b
+
+    def test_duplicate_uid_rejected(self):
+        with pytest.raises(ValueError):
+            JobSet([Job(1, 0, 1, uid=3), Job(2, 1, 2, uid=3)])
+
+    def test_lookup_and_contains(self, small_jobs):
+        first = small_jobs.jobs[0]
+        assert small_jobs[first.uid] is first
+        assert first in small_jobs
+
+    def test_empty(self):
+        js = JobSet()
+        assert js.empty
+        assert js.mu == 1.0
+        assert js.peak_demand() == 0.0
+        assert js.busy_span().empty
+
+
+class TestAggregates:
+    def test_demand_at(self, small_jobs):
+        # at t=2.5: a(0.5), b(0.8), c(2.0) active
+        assert small_jobs.demand_at(2.5) == pytest.approx(3.3)
+        assert small_jobs.demand_at(7.0) == pytest.approx(0.3)
+        assert small_jobs.demand_at(100.0) == 0.0
+
+    def test_demand_profile_matches_pointwise(self, small_jobs):
+        profile = small_jobs.demand_profile()
+        for t in (0.0, 0.5, 1.5, 2.5, 4.5, 5.5, 8.9, 9.0):
+            assert float(profile(t)) == pytest.approx(small_jobs.demand_at(t))
+
+    def test_active_at(self, small_jobs):
+        active = small_jobs.active_at(2.5)
+        assert {j.name for j in active} == {"a", "b", "c"}
+
+    def test_at_least_class(self, small_jobs):
+        caps = (1.0, 3.0)
+        # class >= 2 means size > 1.0: only job c (2.0)
+        js = small_jobs.at_least_class(2, caps)
+        assert {j.name for j in js} == {"c"}
+        assert small_jobs.at_least_class(1, caps) == small_jobs
+
+    def test_size_partition(self, small_jobs):
+        parts = small_jobs.size_partition((1.0, 3.0))
+        assert {j.name for j in parts[0]} == {"a", "b", "d"}
+        assert {j.name for j in parts[1]} == {"c"}
+
+    def test_size_partition_rejects_oversize(self):
+        js = JobSet([Job(5.0, 0, 1)])
+        with pytest.raises(ValueError):
+            js.size_partition((1.0, 3.0))
+
+    def test_busy_span(self, small_jobs):
+        assert small_jobs.busy_span() == __import__(
+            "repro"
+        ).IntervalSet([Interval(0.0, 9.0)])
+
+    def test_mu(self):
+        js = JobSet([Job(1, 0, 2), Job(1, 0, 8)])  # durations 2 and 8
+        assert js.mu == 4.0
+
+    def test_total_volume(self, small_jobs):
+        expected = 0.5 * 4 + 0.8 * 2 + 2.0 * 4 + 0.3 * 4
+        assert small_jobs.total_volume() == pytest.approx(expected)
+
+    def test_peak_demand(self, small_jobs):
+        assert small_jobs.peak_demand() == pytest.approx(3.3)
+
+
+class TestTransforms:
+    def test_minus(self, small_jobs):
+        sub = small_jobs.filter(lambda j: j.name in ("a", "c"))
+        rest = small_jobs.minus(sub)
+        assert {j.name for j in rest} == {"b", "d"}
+
+    def test_union_disjoint(self):
+        a = JobSet([Job(1, 0, 1)])
+        b = JobSet([Job(1, 2, 3)])
+        assert len(a.union(b)) == 2
+
+    def test_union_same_job_ok(self):
+        j = Job(1, 0, 1)
+        assert len(JobSet([j]).union(JobSet([j]))) == 1
+
+    def test_union_uid_clash_rejected(self):
+        a = JobSet([Job(1, 0, 1, uid=9)])
+        b = JobSet([Job(2, 0, 1, uid=9)])
+        with pytest.raises(ValueError):
+            a.union(b)
+
+
+@given(jobset_strategy(max_jobs=20))
+def test_property_partition_is_exact_cover(jobs):
+    caps = (2.0, 4.0, 8.0)
+    parts = jobs.size_partition(caps)
+    assert sum(len(p) for p in parts) == len(jobs)
+    seen = set()
+    for i, part in enumerate(parts, start=1):
+        for job in part:
+            assert job.uid not in seen
+            seen.add(job.uid)
+            lo = caps[i - 2] if i >= 2 else 0.0
+            assert lo < job.size <= caps[i - 1]
+
+
+@given(jobset_strategy(max_jobs=20))
+def test_property_profile_integral_is_volume(jobs):
+    assert jobs.demand_profile().integral() == pytest.approx(
+        jobs.total_volume(), rel=1e-6, abs=1e-9
+    )

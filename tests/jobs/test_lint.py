@@ -1,0 +1,36 @@
+"""Tests for instance linting."""
+
+from repro import Job, JobSet, dec_ladder, lint_instance
+
+
+class TestLint:
+    def test_clean_instance(self, small_jobs, dec3):
+        assert lint_instance(small_jobs, dec3) == []
+
+    def test_empty(self):
+        assert lint_instance(JobSet()) == ["instance is empty"]
+
+    def test_extreme_duration_spread(self):
+        jobs = JobSet([Job(1, 0, 1e-7), Job(1, 0, 10)])
+        warnings = lint_instance(jobs)
+        assert any("time units" in w for w in warnings)
+
+    def test_large_mu(self):
+        jobs = JobSet([Job(1, 0, 0.01), Job(1, 0, 500)])
+        warnings = lint_instance(jobs)
+        assert any("mu" in w for w in warnings)
+
+    def test_duplicates(self):
+        jobs = JobSet([Job(1.0, 0.0, 2.0), Job(1.0, 0.0, 2.0), Job(2.0, 1.0, 3.0)])
+        warnings = lint_instance(jobs)
+        assert any("duplicates" in w for w in warnings)
+
+    def test_oversize_vs_ladder(self, dec3):
+        jobs = JobSet([Job(100.0, 0, 1)])
+        warnings = lint_instance(jobs, dec3)
+        assert any("exceed the largest capacity" in w for w in warnings)
+
+    def test_unit_mismatch(self, dec3):
+        jobs = JobSet([Job(1e-6, 0, 1, name=str(i), uid=9000 + i) for i in range(10)])
+        warnings = lint_instance(jobs, dec3)
+        assert any("unit mismatch" in w for w in warnings)

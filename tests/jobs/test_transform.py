@@ -1,0 +1,112 @@
+"""Tests for instance transformations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Interval, Job, JobSet, dec_ladder, general_offline, lower_bound
+from repro.jobs.transform import (
+    clip_to_window,
+    concatenate,
+    crop,
+    scale_sizes,
+    scale_time,
+    shift_time,
+)
+from tests.conftest import jobset_strategy
+
+
+class TestAffineTime:
+    def test_shift_preserves_durations(self, small_jobs):
+        shifted = shift_time(small_jobs, 10.0)
+        assert [j.duration for j in shifted] == [j.duration for j in small_jobs]
+        assert shifted.jobs[0].arrival == small_jobs.jobs[0].arrival + 10.0
+
+    def test_shift_cost_invariant(self, small_jobs, dec3):
+        base = general_offline(small_jobs, dec3).cost()
+        moved = general_offline(shift_time(small_jobs, 100.0), dec3).cost()
+        assert moved == pytest.approx(base, rel=1e-9)
+
+    def test_scale_time_scales_cost(self, small_jobs, dec3):
+        base = general_offline(small_jobs, dec3).cost()
+        scaled = general_offline(scale_time(small_jobs, 2.5), dec3).cost()
+        assert scaled == pytest.approx(2.5 * base, rel=1e-6)
+
+    def test_scale_time_invalid(self, small_jobs):
+        with pytest.raises(ValueError):
+            scale_time(small_jobs, 0.0)
+
+    def test_scale_about_origin(self):
+        jobs = JobSet([Job(1, 10, 12)])
+        scaled = scale_time(jobs, 2.0, origin=10.0)
+        assert scaled.jobs[0].arrival == 10.0
+        assert scaled.jobs[0].departure == 14.0
+
+
+class TestSizeScale:
+    def test_scale_sizes_with_scaled_ladder_is_invariant(self, small_jobs):
+        from repro import Ladder, MachineType
+
+        base_ladder = dec_ladder(3)
+        big_ladder = Ladder(
+            MachineType(t.capacity * 7.0, t.rate) for t in base_ladder.types
+        )
+        a = general_offline(small_jobs, base_ladder).cost()
+        b = general_offline(scale_sizes(small_jobs, 7.0), big_ladder).cost()
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_invalid(self, small_jobs):
+        with pytest.raises(ValueError):
+            scale_sizes(small_jobs, -1.0)
+
+
+class TestWindows:
+    def test_crop_keeps_only_contained(self, small_jobs):
+        # window [0, 5): jobs a [0,4) and b [1,3) are inside; c,d are not
+        window = Interval(0.0, 5.0)
+        kept = crop(small_jobs, window)
+        assert {j.name for j in kept} == {"a", "b"}
+
+    def test_clip_truncates(self, small_jobs):
+        window = Interval(0.0, 5.0)
+        clipped = clip_to_window(small_jobs, window)
+        # c [2,6) clipped to [2,5); d [5,9) dropped (empty intersection)
+        assert {j.name for j in clipped} == {"a", "b", "c"}
+        c = next(j for j in clipped if j.name == "c")
+        assert c.departure == 5.0
+
+    def test_clip_drops_disjoint(self):
+        jobs = JobSet([Job(1, 10, 20)])
+        assert clip_to_window(jobs, Interval(0, 5)).empty
+
+
+class TestConcatenate:
+    def test_instances_disjoint_in_time(self, small_jobs):
+        merged = concatenate([small_jobs, small_jobs], gap=2.0)
+        assert len(merged) == 2 * len(small_jobs)
+        span = merged.busy_span()
+        # two busy blocks separated by the gap
+        assert len(span) == 2
+        assert span.intervals[1].left - span.intervals[0].right == pytest.approx(2.0)
+
+    def test_cost_additive(self, small_jobs, dec3):
+        one = general_offline(small_jobs, dec3).cost()
+        two = general_offline(concatenate([small_jobs, small_jobs]), dec3).cost()
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_skips_empty(self, small_jobs):
+        merged = concatenate([JobSet(), small_jobs])
+        assert len(merged) == len(small_jobs)
+
+
+@settings(deadline=None, max_examples=25)
+@given(jobset_strategy(max_jobs=12, max_size=8.0))
+def test_property_lb_equivariance(jobs):
+    """LB(shift) == LB and LB(scale c) == c * LB."""
+    ladder = dec_ladder(3)
+    base = lower_bound(jobs, ladder).value
+    assert lower_bound(shift_time(jobs, 42.0), ladder).value == pytest.approx(
+        base, rel=1e-9, abs=1e-12
+    )
+    assert lower_bound(scale_time(jobs, 3.0), ladder).value == pytest.approx(
+        3 * base, rel=1e-6, abs=1e-12
+    )

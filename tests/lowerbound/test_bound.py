@@ -1,0 +1,72 @@
+"""Unit tests for the Eq.-(1) integral lower bound."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Job,
+    JobSet,
+    MachineKey,
+    Schedule,
+    dec_ladder,
+    lower_bound,
+    solve_optimal,
+)
+from tests.conftest import dec_ladder_strategy, jobset_strategy
+
+
+class TestLowerBound:
+    def test_empty_instance(self, dec3):
+        res = lower_bound(JobSet(), dec3)
+        assert res.value == 0.0
+        assert res.segments == ()
+
+    def test_single_job_exact(self, dec3):
+        # one job of size 0.5 for 4 time units: LB = 4 * r_1 = 4
+        jobs = JobSet([Job(0.5, 0, 4)])
+        assert lower_bound(jobs, dec3).value == pytest.approx(4.0)
+
+    def test_large_job_charged_at_required_type(self, dec3):
+        # size 5 requires type 3 (capacity 9, rate 4): LB = 4 * duration
+        jobs = JobSet([Job(5.0, 0, 2)])
+        assert lower_bound(jobs, dec3).value == pytest.approx(8.0)
+
+    def test_profiles_and_interval_families(self, dec3):
+        jobs = JobSet([Job(5.0, 0, 2), Job(5.0, 1, 3)])
+        res = lower_bound(jobs, dec3)
+        profile = res.count_profile(3)
+        assert float(profile(1.5)) == 2.0  # both jobs need type 3 together
+        fam = res.interval_family(3, 2)
+        assert fam.contains(1.5)
+        assert not fam.contains(0.5)
+        assert res.max_count(3) == 2
+
+    def test_rate_profile_integrates_to_value(self, dec3, small_jobs):
+        res = lower_bound(small_jobs, dec3)
+        assert res.rate_profile().integral() == pytest.approx(res.value, rel=1e-9)
+
+    def test_gap_in_time_not_charged(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 1), Job(0.5, 10, 11)])
+        assert lower_bound(jobs, dec3).value == pytest.approx(2.0)
+
+
+class TestLowerBoundIsALowerBound:
+    @settings(deadline=None, max_examples=25)
+    @given(jobset_strategy(max_jobs=6, max_size=4.0))
+    def test_property_lb_below_milp_optimum(self, jobs):
+        ladder = dec_ladder(3)  # capacities 1, 3, 9 fit sizes <= 4... need 9 >= 4 OK
+        lb = lower_bound(jobs, ladder).value
+        opt = solve_optimal(jobs, ladder).cost
+        assert lb <= opt + 1e-6 * max(1.0, opt)
+
+    @settings(deadline=None, max_examples=25)
+    @given(jobset_strategy(max_jobs=10, max_size=8.0), dec_ladder_strategy(max_m=3))
+    def test_property_lb_below_any_feasible_schedule(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        # the trivially feasible schedule: one top-type machine per job
+        sched = Schedule(
+            ladder,
+            {j: MachineKey(ladder.m, ("solo", k)) for k, j in enumerate(jobs)},
+        )
+        assert lower_bound(jobs, ladder).value <= sched.cost() + 1e-9

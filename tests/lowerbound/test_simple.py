@@ -1,0 +1,42 @@
+"""The Eq.-(1) bound dominates the classic simple bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Job, JobSet, dec_ladder, lower_bound
+from repro.lowerbound.simple import all_bounds, span_bound, volume_bound
+from tests.conftest import any_ladder_strategy, jobset_strategy
+
+
+class TestSimpleBounds:
+    def test_span_bound_single_job(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 4)])
+        assert span_bound(jobs, dec3) == pytest.approx(4.0)
+
+    def test_span_bound_ignores_gaps(self, dec3):
+        jobs = JobSet([Job(0.5, 0, 1), Job(0.5, 5, 6)])
+        assert span_bound(jobs, dec3) == pytest.approx(2.0)
+
+    def test_volume_bound_uses_class_restriction(self, dec3):
+        # size 5 must run on type 3 (capacity 9, amortized 4/9)
+        jobs = JobSet([Job(5.0, 0, 2)])
+        assert volume_bound(jobs, dec3) == pytest.approx(5.0 * 2 * 4 / 9)
+
+    def test_volume_bound_picks_best_higher_type(self, dec3):
+        # in DEC, the top type has the best amortized rate for every class
+        jobs = JobSet([Job(0.5, 0, 2)])
+        top_amortized = dec3.type(3).amortized_rate
+        assert volume_bound(jobs, dec3) == pytest.approx(0.5 * 2 * top_amortized)
+
+    def test_all_bounds_keys(self, dec3, small_jobs):
+        bounds = all_bounds(small_jobs, dec3)
+        assert set(bounds) == {"span", "volume", "eq1"}
+
+    @settings(deadline=None, max_examples=40)
+    @given(jobset_strategy(max_jobs=20, max_size=8.0), any_ladder_strategy(max_m=4))
+    def test_property_eq1_dominates(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        eq1 = lower_bound(jobs, ladder).value
+        assert eq1 >= span_bound(jobs, ladder) - 1e-6 * max(1.0, eq1)
+        assert eq1 >= volume_bound(jobs, ladder) - 1e-6 * max(1.0, eq1)

@@ -1,0 +1,74 @@
+"""Tests for the ladder catalogue constructors."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Regime,
+    dec_ladder,
+    ec2_like_ladder,
+    inc_ladder,
+    paper_fig2_ladder,
+    random_general_ladder,
+    single_type_ladder,
+)
+
+
+class TestCatalog:
+    def test_single_type(self):
+        lad = single_type_ladder(capacity=4.0, rate=2.0)
+        assert lad.m == 1
+        assert lad.capacity(1) == 4.0
+        assert lad.rate(1) == 2.0
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 6])
+    def test_dec_ladder_properties(self, m):
+        lad = dec_ladder(m)
+        assert lad.m == m
+        assert lad.is_dec
+        assert lad.is_power_of_two_rates()
+        # strictly DEC for m >= 2
+        if m >= 2:
+            rhos = [t.amortized_rate for t in lad.types]
+            assert all(a > b for a, b in zip(rhos[:-1], rhos[1:]))
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 6])
+    def test_inc_ladder_properties(self, m):
+        lad = inc_ladder(m)
+        assert lad.is_inc
+        assert lad.is_power_of_two_rates()
+        if m >= 2:
+            rhos = [t.amortized_rate for t in lad.types]
+            assert all(a < b for a, b in zip(rhos[:-1], rhos[1:]))
+
+    def test_ec2_regimes(self):
+        assert ec2_like_ladder(5, price_exponent=0.8).regime is Regime.DEC
+        # price_exponent > 1: strictly increasing amortized rate
+        assert ec2_like_ladder(5, price_exponent=1.2).is_inc
+
+    def test_ec2_doubling_capacities(self):
+        lad = ec2_like_ladder(4)
+        assert lad.capacities == (1.0, 2.0, 4.0, 8.0)
+
+    def test_fig2_regime_general(self):
+        lad = paper_fig2_ladder()
+        assert lad.m == 8
+        assert lad.regime is Regime.GENERAL
+        assert len(lad.forest().roots) == 3
+
+    def test_random_general_valid_and_deterministic(self):
+        a = random_general_ladder(6, np.random.default_rng(4))
+        b = random_general_ladder(6, np.random.default_rng(4))
+        assert a == b
+        assert a.m == 6
+        # strictly increasing capacities and rates guaranteed by Ladder
+        caps = a.capacities
+        assert all(x < y for x, y in zip(caps[:-1], caps[1:]))
+
+    def test_random_general_spans_regimes(self):
+        """Across seeds the generator should produce at least two regimes."""
+        regimes = {
+            random_general_ladder(5, np.random.default_rng(seed)).regime
+            for seed in range(30)
+        }
+        assert len(regimes) >= 2

@@ -1,0 +1,96 @@
+"""Unit tests for online machine state and indexed pools."""
+
+import pytest
+
+from repro.machines.fleet import FleetState, IndexedPool
+from repro.machines.machine import OnlineMachine
+from repro.schedule.schedule import MachineKey
+
+
+class TestOnlineMachine:
+    def test_admit_release(self):
+        m = OnlineMachine(MachineKey(1, ("A", 1)), capacity=4.0)
+        m.admit(1, 2.0)
+        m.admit(2, 2.0)
+        assert m.busy
+        assert m.load == pytest.approx(4.0)
+        assert not m.fits(0.1)
+        m.release(1)
+        assert m.fits(2.0)
+        m.release(2)
+        assert m.empty
+        assert m.load == 0.0
+
+    def test_overfill_rejected(self):
+        m = OnlineMachine(MachineKey(1, ("A", 1)), capacity=1.0)
+        m.admit(1, 0.7)
+        with pytest.raises(ValueError):
+            m.admit(2, 0.5)
+
+    def test_double_admit_rejected(self):
+        m = OnlineMachine(MachineKey(1, ("A", 1)), capacity=4.0)
+        m.admit(1, 1.0)
+        with pytest.raises(ValueError):
+            m.admit(1, 1.0)
+
+    def test_release_unknown_raises(self):
+        m = OnlineMachine(MachineKey(1, ("A", 1)), capacity=4.0)
+        with pytest.raises(KeyError):
+            m.release(42)
+
+
+class TestIndexedPool:
+    def test_first_fit_prefers_lowest_index(self):
+        pool = IndexedPool("A", 1, capacity=2.0, budget=None)
+        m1 = pool.first_fit(1, 1.0)
+        m2 = pool.first_fit(2, 1.5)  # doesn't fit m1 -> new machine
+        m3 = pool.first_fit(3, 1.0)  # fits m1
+        assert m1.key.tag == ("A", 1)
+        assert m2.key.tag == ("A", 2)
+        assert m3 is m1
+
+    def test_size_limit(self):
+        pool = IndexedPool("A", 1, capacity=4.0, size_limit=2.0, budget=None)
+        assert pool.first_fit(1, 2.5) is None
+        assert pool.first_fit(2, 2.0) is not None
+
+    def test_budget_blocks_new_machines_only(self):
+        pool = IndexedPool("A", 1, capacity=2.0, budget=1)
+        m1 = pool.first_fit(1, 1.0)
+        assert m1 is not None
+        # budget reached: cannot open machine 2
+        assert pool.first_fit(2, 2.0) is None
+        # but the busy machine can still accept load
+        m3 = pool.first_fit(3, 0.5)
+        assert m3 is m1
+
+    def test_budget_frees_on_departure(self):
+        pool = IndexedPool("B", 2, capacity=1.0, budget=1, single_job=True)
+        state = FleetState()
+        m1 = pool.first_fit(1, 1.0)
+        state.record(1, m1)
+        assert pool.first_fit(2, 1.0) is None  # budget blocked
+        state.depart(1)
+        m2 = pool.first_fit(2, 1.0)
+        assert m2 is m1  # lowest-indexed empty machine reused
+
+    def test_single_job_pool_never_shares(self):
+        pool = IndexedPool("B", 1, capacity=10.0, budget=None, single_job=True)
+        m1 = pool.first_fit(1, 1.0)
+        m2 = pool.first_fit(2, 1.0)
+        assert m1 is not m2
+
+    def test_busy_count(self):
+        pool = IndexedPool("A", 1, capacity=1.0, budget=None)
+        state = FleetState()
+        for uid in range(3):
+            state.record(uid, pool.first_fit(uid, 1.0))
+        assert pool.busy_count() == 3
+        state.depart(1)
+        assert pool.busy_count() == 2
+
+
+class TestFleetState:
+    def test_depart_unknown_raises(self):
+        with pytest.raises(KeyError):
+            FleetState().depart(3)

@@ -1,0 +1,103 @@
+"""Unit tests for Section-II preprocessing (pruning + power-of-2 rounding)."""
+
+import pytest
+from hypothesis import given
+
+from repro import (
+    Job,
+    JobSet,
+    Ladder,
+    MachineType,
+    ec2_like_ladder,
+    normalize,
+    prune_dominated,
+)
+from repro.offline.general_offline import general_offline
+from repro.schedule.validate import assert_feasible
+from tests.conftest import any_ladder_strategy, jobset_strategy
+
+
+class TestPruneDominated:
+    def test_keeps_undominated(self):
+        types = [MachineType(1, 1), MachineType(2, 2), MachineType(4, 3)]
+        assert len(prune_dominated(types)) == 3
+
+    def test_drops_same_capacity_higher_rate(self):
+        types = [MachineType(1, 1), MachineType(1, 2)]
+        kept = prune_dominated(types)
+        assert len(kept) == 1
+        assert kept[0].rate == 1
+
+    def test_drops_bigger_cheaper_dominates(self):
+        # (1, 5) dominated by (2, 3)
+        types = [MachineType(1, 5), MachineType(2, 3)]
+        kept = prune_dominated(types)
+        assert len(kept) == 1
+        assert kept[0].capacity == 2
+
+    def test_result_is_valid_ladder(self):
+        types = [
+            MachineType(1, 4),
+            MachineType(2, 3),
+            MachineType(3, 3.5),
+            MachineType(4, 10),
+            MachineType(4, 8),
+        ]
+        Ladder(prune_dominated(types))  # must not raise
+
+
+class TestNormalize:
+    def test_rates_become_powers_of_two(self):
+        lad = ec2_like_ladder(5, price_exponent=0.85)
+        norm = normalize(lad)
+        assert norm.normalized.is_power_of_two_rates()
+
+    def test_already_normal_is_identity(self, dec3):
+        norm = normalize(dec3)
+        assert norm.normalized == dec3
+        assert norm.to_original == (1, 2, 3)
+
+    def test_duplicate_rounded_rates_keep_highest_capacity(self):
+        # normalized rates 1.1 and 1.3 both round up to 2: the lower-capacity
+        # duplicate (type 2) is deleted, type 3 survives
+        lad = Ladder.from_pairs([(1.0, 1.0), (2.0, 1.1), (3.0, 1.3)])
+        norm = normalize(lad)
+        assert norm.normalized.m == 2
+        assert norm.normalized.capacities == (1.0, 3.0)
+        assert norm.normalized.rates == (1.0, 2.0)
+        assert norm.to_original == (1, 3)
+
+    def test_rounding_is_upward_bounded_by_two(self):
+        lad = ec2_like_ladder(6, price_exponent=1.1)
+        norm = normalize(lad)
+        for i in range(1, norm.normalized.m + 1):
+            orig_rate = norm.realize_rate(i)
+            new_rate = norm.normalized.rate(i)
+            assert orig_rate <= new_rate < 2 * orig_rate + 1e-12
+
+    def test_realize_schedule_costs_less_and_stays_feasible(self):
+        lad = ec2_like_ladder(4, price_exponent=0.8)
+        norm = normalize(lad)
+        jobs = JobSet(
+            [Job(0.5, 0, 3), Job(3.0, 1, 4), Job(7.0, 2, 6), Job(1.5, 5, 9)]
+        )
+        sched_norm = general_offline(jobs, norm.normalized)
+        sched_orig = norm.realize_schedule(sched_norm)
+        assert_feasible(sched_orig, jobs)
+        assert sched_orig.cost() <= sched_norm.cost() + 1e-9
+        assert sched_norm.cost() <= 2 * sched_orig.cost() + 1e-9
+
+    @given(any_ladder_strategy(max_m=5))
+    def test_property_normalization_invariants(self, ladder):
+        norm = normalize(ladder)
+        nl = norm.normalized
+        assert nl.is_power_of_two_rates()
+        # mapping is strictly increasing and ends at the original top type
+        assert list(norm.to_original) == sorted(set(norm.to_original))
+        assert norm.to_original[-1] == ladder.m
+        # every surviving type's rate is >= its original's and < 2x
+        for i in range(1, nl.m + 1):
+            assert norm.realize_rate(i) <= nl.rate(i) < 2 * norm.realize_rate(i) + 1e-9
+        # consecutive normalized rates differ by a factor >= 2
+        for i in range(1, nl.m):
+            assert nl.rate(i + 1) / nl.rate(i) >= 2 - 1e-12

@@ -1,0 +1,67 @@
+"""Tests for catalogue subset recommendation."""
+
+import pytest
+
+from repro import Job, JobSet, dec_ladder, uniform_workload
+from repro.machines.recommend import recommend_subset
+
+
+class TestRecommend:
+    def test_subset_must_fit_largest_job(self, rng):
+        ladder = dec_ladder(3)  # capacities 1, 3, 9
+        jobs = JobSet([Job(5.0, 0, 2)])
+        rec = recommend_subset(jobs, ladder)
+        assert 3 in rec.enabled_indices  # only type 3 fits the job
+        for combo, _cost in rec.ranking:
+            assert 3 in combo
+
+    def test_tiny_long_job_prefers_small_type_only(self):
+        ladder = dec_ladder(3)
+        jobs = JobSet([Job(0.2, 0, 100)])
+        rec = recommend_subset(jobs, ladder)
+        # cheapest config rate for one tiny job is type 1 alone
+        assert rec.enabled_indices == (1,)
+        assert rec.cost == pytest.approx(100.0)
+
+    def test_full_catalogue_never_worse_on_lower_bound(self, rng):
+        """The Eq.-(1) LB is monotone: more types can only help the relaxed
+        configuration, so the full catalogue is always among the best by LB."""
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(40, rng, max_size=ladder.capacity(3))
+        rec = recommend_subset(jobs, ladder)
+        full = next(c for combo, c in rec.ranking if combo == (1, 2, 3))
+        assert rec.cost <= full + 1e-9
+
+    def test_max_types_cap(self, rng):
+        ladder = dec_ladder(4)
+        jobs = uniform_workload(30, rng, max_size=ladder.capacity(4))
+        rec = recommend_subset(jobs, ladder, max_types=2)
+        assert len(rec.enabled_indices) <= 2
+
+    def test_schedule_estimate_runs(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(25, rng, max_size=ladder.capacity(3))
+        rec = recommend_subset(jobs, ladder, estimate="schedule")
+        assert rec.cost > 0
+
+    def test_schedule_estimate_can_prefer_fewer_types(self, rng):
+        """With the real algorithms, dropping types sometimes wins — verify
+        the search at least evaluates proper subsets competitively."""
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(30, rng, max_size=ladder.capacity(3))
+        rec = recommend_subset(jobs, ladder, estimate="schedule")
+        evaluated_sizes = {len(combo) for combo, _ in rec.ranking}
+        assert evaluated_sizes == {1, 2, 3}
+
+    def test_unknown_estimate(self, rng, dec3):
+        jobs = uniform_workload(5, rng, max_size=1.0)
+        with pytest.raises(ValueError):
+            recommend_subset(jobs, dec3, estimate="vibes")
+
+    def test_too_many_types_rejected(self, rng):
+        from repro import MachineType, Ladder
+
+        big = Ladder(MachineType(2.0**i, 2.0**i * (i + 1)) for i in range(13))
+        jobs = uniform_workload(5, rng, max_size=1.0)
+        with pytest.raises(ValueError, match="12 types"):
+            recommend_subset(jobs, big)

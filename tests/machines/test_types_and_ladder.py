@@ -1,0 +1,146 @@
+"""Unit tests for MachineType, Ladder, regime classification and the forest."""
+
+import pytest
+from hypothesis import given
+
+from repro import Ladder, MachineType, Regime, dec_ladder, inc_ladder, paper_fig2_ladder
+from tests.conftest import any_ladder_strategy
+
+
+class TestMachineType:
+    def test_basic(self):
+        t = MachineType(4.0, 2.0, index=3)
+        assert t.capacity == 4.0
+        assert t.rate == 2.0
+        assert t.amortized_rate == 0.5
+        assert t.fits(4.0)
+        assert not t.fits(4.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MachineType(0.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineType(1.0, -1.0)
+
+    def test_with_index(self):
+        t = MachineType(1, 1).with_index(7)
+        assert t.index == 7
+
+
+class TestLadder:
+    def test_reindexes_one_based(self):
+        lad = Ladder.from_pairs([(4.0, 3.0), (1.0, 1.0)])  # unsorted input
+        assert lad.type(1).capacity == 1.0
+        assert lad.type(2).capacity == 4.0
+        assert [t.index for t in lad] == [1, 2]
+
+    def test_g0_is_zero(self, dec3):
+        assert dec3.capacity(0) == 0.0
+
+    def test_rejects_dominated(self):
+        # same capacity twice
+        with pytest.raises(ValueError):
+            Ladder.from_pairs([(1.0, 1.0), (1.0, 2.0)])
+        # bigger capacity but lower rate makes the smaller type dominated
+        with pytest.raises(ValueError):
+            Ladder.from_pairs([(1.0, 2.0), (2.0, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ladder([])
+
+    def test_out_of_range_index(self, dec3):
+        with pytest.raises(IndexError):
+            dec3.type(0)
+        with pytest.raises(IndexError):
+            dec3.type(4)
+
+    def test_smallest_fitting(self, dec3):
+        # capacities 1, 3, 9
+        assert dec3.smallest_fitting(0.5) == 1
+        assert dec3.smallest_fitting(1.0) == 1
+        assert dec3.smallest_fitting(2.0) == 2
+        assert dec3.smallest_fitting(9.0) == 3
+        with pytest.raises(ValueError):
+            dec3.smallest_fitting(10.0)
+
+    def test_regimes(self, dec3, inc3):
+        assert dec3.regime is Regime.DEC
+        assert inc3.regime is Regime.INC
+        assert paper_fig2_ladder().regime is Regime.GENERAL
+
+    def test_constant_amortized_is_both(self):
+        lad = Ladder.from_pairs([(1, 1), (2, 2), (4, 4)])
+        assert lad.is_dec and lad.is_inc
+        assert lad.regime is Regime.DEC  # primary label
+
+    def test_power_of_two_rates_detection(self, dec3):
+        assert dec3.is_power_of_two_rates()
+        lad = Ladder.from_pairs([(1, 1.0), (2, 3.0)])
+        assert not lad.is_power_of_two_rates()
+
+    def test_catalog_validity(self):
+        assert dec_ladder(4).is_dec
+        assert inc_ladder(4).is_inc
+        with pytest.raises(ValueError):
+            dec_ladder(3, cap_factor=2.0)
+        with pytest.raises(ValueError):
+            inc_ladder(3, cap_factor=2.0)
+
+
+class TestForest:
+    def test_dec_ladder_is_path(self, dec3):
+        forest = dec3.forest()
+        assert forest.roots == (3,)
+        assert forest.parent[1] == 2
+        assert forest.parent[2] == 3
+        assert forest.postorder() == [1, 2, 3]
+
+    def test_inc_ladder_is_all_roots(self, inc3):
+        forest = inc3.forest()
+        assert forest.roots == (1, 2, 3)
+        assert all(forest.parent[i] is None for i in (1, 2, 3))
+
+    def test_fig2_three_trees(self):
+        forest = paper_fig2_ladder().forest()
+        assert forest.roots == (3, 6, 8)
+        assert sorted(forest.subtree(3)) == [1, 2, 3]
+        assert sorted(forest.subtree(6)) == [4, 5, 6]
+        assert sorted(forest.subtree(8)) == [7, 8]
+
+    def test_postorder_children_before_parents(self):
+        forest = paper_fig2_ladder().forest()
+        order = forest.postorder()
+        pos = {node: i for i, node in enumerate(order)}
+        for child, parent in forest.parent.items():
+            if parent is not None:
+                assert pos[child] < pos[parent]
+
+    def test_path_to_root(self):
+        forest = paper_fig2_ladder().forest()
+        assert forest.path_to_root(2) == [2, 3]
+        assert forest.path_to_root(7) == [7, 8]
+        assert forest.path_to_root(8) == [8]
+
+    def test_processing_path_validates_class(self):
+        forest = paper_fig2_ladder().forest()
+        assert forest.processing_path(1) == [1, 3]
+        with pytest.raises(ValueError):
+            forest.processing_path(0)
+        with pytest.raises(ValueError):
+            forest.processing_path(9)
+
+    @given(any_ladder_strategy(max_m=6))
+    def test_property_forest_structure(self, ladder):
+        forest = ladder.forest()
+        # parents strictly above
+        for i, p in forest.parent.items():
+            if p is not None:
+                assert p > i
+        # every node's subtree is a consecutive range ending at the node
+        for i in range(1, ladder.m + 1):
+            lo, hi = forest.subtree_span(i)
+            assert hi == i
+            assert sorted(forest.subtree(i)) == list(range(lo, hi + 1))
+        # postorder covers every node once
+        assert sorted(forest.postorder()) == list(range(1, ladder.m + 1))

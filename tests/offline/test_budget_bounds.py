@@ -1,0 +1,68 @@
+"""Machine-concurrency accounting of the iterative offline algorithms.
+
+Theorem 1's counting argument bounds the number of type-``i`` machines that
+DEC-OFFLINE keeps busy at any instant; GEN-OFFLINE inherits the analogous
+per-node bound from its strip budget.  These tests check the counts on
+random workloads — they are the quantities the approximation proofs sum up,
+so validating them validates the proofs' premises, not just their
+conclusions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import dec_ladder, dec_offline, general_offline, paper_fig2_ladder, uniform_workload
+from repro.analysis.metrics import busy_machine_profile
+from repro.offline.general_offline import node_strip_budget
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2718)
+
+
+class TestDecOfflineCounting:
+    def test_per_iteration_machine_bound(self, rng):
+        """<= 6 (r_{i+1}/r_i - 1) type-i machines busy at any time, i < m."""
+        ladder = dec_ladder(4)
+        for trial in range(3):
+            jobs = uniform_workload(120, rng, max_size=ladder.capacity(4))
+            sched = dec_offline(jobs, ladder)
+            for i in range(1, 4):
+                ratio = ladder.rate(i + 1) / ladder.rate(i)
+                peak = busy_machine_profile(sched, type_index=i).max()
+                assert peak <= 6 * (ratio - 1) + 1e-9
+
+    def test_total_cost_rate_bound_when_top_type_used(self, rng):
+        """When type-m machines host jobs at time t, the non-top types
+        contribute at most 6 * r_m cost rate (the telescoping sum in the
+        Theorem-1 proof)."""
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(150, rng, max_size=ladder.capacity(3))
+        sched = dec_offline(jobs, ladder)
+        profiles = {
+            i: busy_machine_profile(sched, type_index=i) for i in (1, 2, 3)
+        }
+        for seg in jobs.segments():
+            mid = (seg.left + seg.right) / 2
+            low_rate = sum(
+                float(profiles[i](mid)) * ladder.rate(i) for i in (1, 2)
+            )
+            assert low_rate <= 6 * ladder.rate(3) + 1e-9
+
+
+class TestGenOfflineCounting:
+    def test_non_root_node_machine_bound(self, rng):
+        """A non-root node j keeps at most 3 * B_j type-j machines busy,
+        where B_j is its strip budget (strip machines + 2 per boundary)."""
+        ladder = paper_fig2_ladder()
+        forest = ladder.forest()
+        jobs = uniform_workload(150, rng, max_size=ladder.capacity(8))
+        sched = general_offline(jobs, ladder)
+        for j in range(1, ladder.m + 1):
+            parent = forest.parent[j]
+            if parent is None:
+                continue
+            budget = node_strip_budget(ladder, j, parent, forest.num_children(parent))
+            peak = busy_machine_profile(sched, type_index=j).max()
+            assert peak <= 3 * budget + 1e-9

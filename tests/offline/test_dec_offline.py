@@ -1,0 +1,133 @@
+"""Unit and property tests for DEC-OFFLINE (Theorem 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Job,
+    JobSet,
+    dec_ladder,
+    dec_offline,
+    inc_ladder,
+    lower_bound,
+    paper_fig2_ladder,
+    uniform_workload,
+)
+from repro.offline.dec_offline import strip_budget
+from repro.analysis.metrics import busy_machine_profile
+from repro.schedule.validate import assert_feasible
+from tests.conftest import dec_ladder_strategy, jobset_strategy
+
+
+class TestStripBudget:
+    def test_power_of_two_exact(self):
+        assert strip_budget(2.0) == 2  # 2 * (2 - 1)
+        assert strip_budget(4.0) == 6
+        assert strip_budget(8.0) == 14
+
+    def test_non_integer_rounds_up(self):
+        assert strip_budget(1.7) == 2  # 2 * 0.7 = 1.4 -> 2
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            strip_budget(1.0)
+
+    def test_factor_knob(self):
+        assert strip_budget(2.0, factor=4.0) == 4
+
+
+class TestDecOffline:
+    def test_regime_guard(self, inc3, small_jobs):
+        with pytest.raises(ValueError, match="not BSHM-DEC"):
+            dec_offline(small_jobs, inc3)
+        # explicit override allowed
+        sched = dec_offline(small_jobs, inc3, require_regime=False)
+        assert_feasible(sched, small_jobs)
+
+    def test_oversize_guard(self, dec3):
+        with pytest.raises(ValueError, match="largest machine"):
+            dec_offline(JobSet([Job(100.0, 0, 1)]), dec3)
+
+    def test_empty_instance(self, dec3):
+        sched = dec_offline(JobSet(), dec3)
+        assert sched.cost() == 0.0
+
+    def test_single_type_reduces_to_dual_coloring(self, small_jobs):
+        from repro import single_type_ladder
+
+        ladder = single_type_ladder(capacity=4.0)
+        sched = dec_offline(small_jobs, ladder)
+        assert_feasible(sched, small_jobs)
+        assert all(k.type_index == 1 for k in sched.machines())
+
+    def test_small_jobs_prefer_small_types_when_load_low(self, dec3):
+        # one tiny long job: DEC-OFFLINE's first iteration catches it on type 1
+        jobs = JobSet([Job(0.2, 0, 10)])
+        sched = dec_offline(jobs, dec3)
+        assert sched.machine_of(jobs.jobs[0]).type_index == 1
+        assert sched.cost() == pytest.approx(10.0)  # rate 1
+
+    def test_big_job_lands_on_required_type(self, dec3):
+        jobs = JobSet([Job(5.0, 0, 2)])
+        sched = dec_offline(jobs, dec3)
+        assert sched.machine_of(jobs.jobs[0]).type_index == 3
+
+    def test_machine_concurrency_bound_per_iteration(self, dec3, rng):
+        """At any time, iteration i uses at most 6 (r_{i+1}/r_i - 1) type-i
+        machines (i < m) — the counting in Theorem 1's proof."""
+        jobs = uniform_workload(120, rng, max_size=dec3.capacity(3))
+        sched = dec_offline(jobs, dec3)
+        for i in (1, 2):
+            ratio = dec3.rate(i + 1) / dec3.rate(i)
+            cap = 6 * (ratio - 1)
+            peak = busy_machine_profile(sched, type_index=i).max()
+            assert peak <= cap + 1e-9
+
+    def test_theorem1_ratio_on_random_workloads(self, rng):
+        ladder = dec_ladder(3)
+        for trial in range(3):
+            jobs = uniform_workload(80, rng, max_size=ladder.capacity(3))
+            sched = dec_offline(jobs, ladder)
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            assert sched.cost() <= 14.0 * lb + 1e-9
+
+    def test_budget_factor_ablation_changes_schedule(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(60, rng, max_size=ladder.capacity(3))
+        a = dec_offline(jobs, ladder, budget_factor=1.0)
+        b = dec_offline(jobs, ladder, budget_factor=4.0)
+        assert_feasible(a, jobs)
+        assert_feasible(b, jobs)
+
+    def test_strip_divisor_validation(self, dec3, small_jobs):
+        with pytest.raises(ValueError):
+            dec_offline(small_jobs, dec3, strip_divisor=1.0)
+
+    def test_strip_divisor_four_still_feasible(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(60, rng, max_size=ladder.capacity(3))
+        sched = dec_offline(jobs, ladder, strip_divisor=4.0)
+        assert_feasible(sched, jobs)
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=20, max_size=8.0), dec_ladder_strategy(max_m=4))
+    def test_property_feasible_and_bounded(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = dec_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        if lb > 0:
+            assert sched.cost() <= 14.0 * lb * (1 + 1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(jobset_strategy(max_jobs=15, max_size=8.0), dec_ladder_strategy(max_m=4))
+    def test_property_every_job_on_fitting_type(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = dec_offline(jobs, ladder)
+        for job, key in sched.assignment.items():
+            assert job.size <= ladder.capacity(key.type_index) + 1e-9

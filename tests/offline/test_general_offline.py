@@ -1,0 +1,92 @@
+"""Unit and property tests for GEN-OFFLINE (Section V)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Job,
+    JobSet,
+    general_offline,
+    inc_offline,
+    lower_bound,
+    paper_fig2_ladder,
+    random_general_ladder,
+    uniform_workload,
+)
+from repro.offline.general_offline import node_strip_budget
+from repro.schedule.validate import assert_feasible
+from tests.conftest import any_ladder_strategy, jobset_strategy
+
+
+class TestNodeStripBudget:
+    def test_formula(self, dec3):
+        # parent rate 2, node rate 1, one sibling: ceil(2/1) = 2
+        assert node_strip_budget(dec3, 1, 2, 1) == 2
+
+    def test_sibling_discount(self):
+        ladder = paper_fig2_ladder()
+        b1 = node_strip_budget(ladder, 1, 3, 1)
+        b2 = node_strip_budget(ladder, 1, 3, 4)
+        assert b2 <= b1  # more siblings -> smaller per-child budget
+
+
+class TestGeneralOffline:
+    def test_on_inc_ladder_equals_inc_offline_cost(self, inc3, rng):
+        """On an INC ladder every forest node is a root, so GEN-OFFLINE
+        degenerates to exactly the partitioning strategy."""
+        jobs = uniform_workload(50, rng, max_size=inc3.capacity(3))
+        a = general_offline(jobs, inc3)
+        b = inc_offline(jobs, inc3)
+        assert a.cost() == pytest.approx(b.cost(), rel=1e-12)
+        # identical type usage
+        assert {
+            (j.uid, k.type_index) for j, k in a.assignment.items()
+        } == {(j.uid, k.type_index) for j, k in b.assignment.items()}
+
+    def test_on_dec_ladder_feasible(self, dec3, rng):
+        jobs = uniform_workload(50, rng, max_size=dec3.capacity(3))
+        sched = general_offline(jobs, dec3)
+        assert_feasible(sched, jobs)
+
+    def test_fig2_ladder(self, rng):
+        ladder = paper_fig2_ladder()
+        jobs = uniform_workload(60, rng, max_size=ladder.capacity(8))
+        sched = general_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+
+    def test_oversize_guard(self, dec3):
+        with pytest.raises(ValueError):
+            general_offline(JobSet([Job(100.0, 0, 1)]), dec3)
+
+    def test_empty(self, dec3):
+        assert general_offline(JobSet(), dec3).cost() == 0.0
+
+    def test_job_types_follow_processing_path(self, rng):
+        """Every job runs on a type along its class's path to the root."""
+        ladder = paper_fig2_ladder()
+        forest = ladder.forest()
+        jobs = uniform_workload(80, rng, max_size=ladder.capacity(8))
+        sched = general_offline(jobs, ladder)
+        for job, key in sched.assignment.items():
+            c = job.size_class(ladder.capacities)
+            assert key.type_index in forest.path_to_root(c)
+
+    def test_sqrt_m_shape_on_random_ladders(self, rng):
+        for m in (2, 4, 8):
+            ladder = random_general_ladder(m, rng)
+            jobs = uniform_workload(60, rng, max_size=ladder.capacity(m))
+            sched = general_offline(jobs, ladder)
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            # conjectured O(sqrt m); generous constant for small instances
+            assert sched.cost() <= 14.0 * math.sqrt(m) * lb + 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(jobset_strategy(max_jobs=18, max_size=8.0), any_ladder_strategy(max_m=5))
+    def test_property_feasible_on_any_ladder(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = general_offline(jobs, ladder)
+        assert_feasible(sched, jobs)

@@ -1,0 +1,64 @@
+"""Unit and property tests for INC-OFFLINE (Section IV)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    Job,
+    JobSet,
+    inc_ladder,
+    inc_offline,
+    lower_bound,
+    uniform_workload,
+)
+from repro.schedule.validate import assert_feasible
+from tests.conftest import inc_ladder_strategy, jobset_strategy
+
+
+class TestIncOffline:
+    def test_regime_guard(self, dec3, small_jobs):
+        with pytest.raises(ValueError, match="not BSHM-INC"):
+            inc_offline(small_jobs, dec3)
+        sched = inc_offline(small_jobs, dec3, require_regime=False)
+        assert_feasible(sched, small_jobs)
+
+    def test_constant_amortized_accepted(self, small_jobs):
+        from repro import Ladder
+
+        lad = Ladder.from_pairs([(1, 1), (2, 2), (4, 4)])
+        sched = inc_offline(small_jobs, lad)
+        assert_feasible(sched, small_jobs)
+
+    def test_classes_never_share_machines(self, inc3, rng):
+        jobs = uniform_workload(60, rng, max_size=inc3.capacity(3))
+        sched = inc_offline(jobs, inc3)
+        for job, key in sched.assignment.items():
+            # each job is on exactly the machine type of its size class
+            assert job.size_class(inc3.capacities) == key.type_index
+
+    def test_empty(self, inc3):
+        assert inc_offline(JobSet(), inc3).cost() == 0.0
+
+    def test_oversize_guard(self, inc3):
+        with pytest.raises(ValueError):
+            inc_offline(JobSet([Job(100.0, 0, 1)]), inc3)
+
+    def test_section4_ratio_on_random_workloads(self, rng):
+        ladder = inc_ladder(4)
+        for _ in range(3):
+            jobs = uniform_workload(80, rng, max_size=ladder.capacity(4))
+            sched = inc_offline(jobs, ladder)
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            assert sched.cost() <= 9.0 * lb + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=20, max_size=4.0), inc_ladder_strategy(max_m=4))
+    def test_property_feasible_and_bounded(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = inc_offline(jobs, ladder)
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        if lb > 0:
+            assert sched.cost() <= 9.0 * lb * (1 + 1e-9)

@@ -1,0 +1,72 @@
+"""Tests for the clairvoyant extension (duration-classified First-Fit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import Job, JobSet, bounded_mu_workload, dec_ladder, lower_bound
+from repro.online.clairvoyant import DurationClassScheduler, run_clairvoyant
+from repro.schedule.validate import assert_feasible
+from tests.conftest import jobset_strategy
+
+
+class TestDurationClassScheduler:
+    def test_sees_departures(self, dec3):
+        """Clairvoyant engine passes full Job objects (with departure)."""
+        seen = []
+
+        class Spy(DurationClassScheduler):
+            def on_arrival(self, job):
+                seen.append(job)
+                return super().on_arrival(job)
+
+        jobs = JobSet([Job(0.5, 0, 7)])
+        run_clairvoyant(jobs, Spy(dec3))
+        assert hasattr(seen[0], "departure")
+        assert seen[0].departure == 7.0
+
+    def test_duration_classes_separate_machines(self, dec3):
+        # same size class, durations 1 and 10 (classes 0 and 3): no sharing
+        a = Job(0.4, 0, 1, name="short")
+        b = Job(0.4, 0, 10, name="long")
+        sched = run_clairvoyant(JobSet([a, b]), DurationClassScheduler(dec3))
+        assert sched.machine_of(a) != sched.machine_of(b)
+
+    def test_same_class_shares(self, dec3):
+        a = Job(0.4, 0, 4, name="x")
+        b = Job(0.4, 1, 5, name="y")  # same duration class, fits same machine
+        sched = run_clairvoyant(JobSet([a, b]), DurationClassScheduler(dec3))
+        assert sched.machine_of(a) == sched.machine_of(b)
+
+    def test_explicit_base_duration(self, dec3):
+        sched = DurationClassScheduler(dec3, base_duration=1.0)
+        assert sched._duration_class(1.0) == 0
+        assert sched._duration_class(2.0) == 1
+        assert sched._duration_class(7.9) == 2
+
+    def test_flat_ratio_across_mu(self):
+        """Clairvoyance should keep the ratio roughly flat as mu grows."""
+        ladder = dec_ladder(3)
+        rng = np.random.default_rng(8)
+        ratios = []
+        for mu in (1.0, 16.0, 64.0):
+            jobs = bounded_mu_workload(150, rng, mu=mu, max_size=ladder.capacity(3))
+            sched = run_clairvoyant(jobs, DurationClassScheduler(ladder))
+            assert_feasible(sched, jobs)
+            ratios.append(sched.cost() / lower_bound(jobs, ladder).value)
+        assert max(ratios) < 4.0  # no mu blow-up
+
+    def test_bad_return_type_rejected(self, dec3):
+        class Bad(DurationClassScheduler):
+            def on_arrival(self, job):
+                return "nope"
+
+        with pytest.raises(TypeError):
+            run_clairvoyant(JobSet([Job(0.5, 0, 1)]), Bad(dec3))
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=25, max_size=8.0))
+    def test_property_feasible(self, jobs):
+        ladder = dec_ladder(3)
+        sched = run_clairvoyant(jobs, DurationClassScheduler(ladder))
+        assert_feasible(sched, jobs)

@@ -1,0 +1,122 @@
+"""Unit and property tests for DEC-ONLINE (Theorem 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    DecOnlineScheduler,
+    Job,
+    JobSet,
+    bounded_mu_workload,
+    dec_ladder,
+    lower_bound,
+    run_online,
+    uniform_workload,
+)
+from repro.online.dec_online import group_budget
+from repro.analysis.metrics import busy_machine_profile
+from repro.schedule.validate import assert_feasible
+from tests.conftest import dec_ladder_strategy, jobset_strategy
+
+
+class TestGroupBudget:
+    def test_power_of_two(self):
+        assert group_budget(2.0) == 4
+        assert group_budget(4.0) == 12
+
+    def test_factor(self):
+        assert group_budget(2.0, factor=2.0) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            group_budget(0.9)
+
+
+class TestDecOnline:
+    def test_big_job_goes_to_group_b(self, dec3):
+        # size in (g_1/2, g_1] = (0.5, 1]: Group B type 1
+        jobs = JobSet([Job(0.8, 0, 2)])
+        sched = run_online(jobs, DecOnlineScheduler(dec3))
+        key = sched.machine_of(jobs.jobs[0])
+        assert key.type_index == 1
+        assert key.tag[0] == "B"
+
+    def test_small_job_goes_to_group_a(self, dec3):
+        jobs = JobSet([Job(0.4, 0, 2)])
+        sched = run_online(jobs, DecOnlineScheduler(dec3))
+        key = sched.machine_of(jobs.jobs[0])
+        assert key.type_index == 1
+        assert key.tag[0] == "A"
+
+    def test_group_b_machines_host_one_job_at_a_time(self, dec3, rng):
+        jobs = uniform_workload(100, rng, max_size=dec3.capacity(3))
+        sched = run_online(jobs, DecOnlineScheduler(dec3))
+        for key, members in sched.by_machine().items():
+            if key.tag[0] == "B":
+                assert JobSet(members).peak_demand() <= dec3.capacity(
+                    key.type_index
+                ) + 1e-9
+                # one at a time: peak count of concurrent jobs is 1
+                profile = JobSet(members).demand_profile()
+                for job in members:
+                    mid = (job.arrival + job.departure) / 2
+                    others = [
+                        o
+                        for o in members
+                        if o is not job and o.active_at(mid)
+                    ]
+                    assert not others
+
+    def test_group_a_size_limit(self, dec3, rng):
+        jobs = uniform_workload(100, rng, max_size=dec3.capacity(3))
+        sched = run_online(jobs, DecOnlineScheduler(dec3))
+        for job, key in sched.assignment.items():
+            if key.tag[0] == "A":
+                assert job.size <= dec3.capacity(key.type_index) / 2 + 1e-9
+
+    def test_overflow_to_higher_type_when_group_b_full(self):
+        """Five concurrent size-0.8 jobs: Group B type-1 budget is 4, the
+        fifth must climb to a type-2 Group A machine."""
+        ladder = dec_ladder(3)  # budgets: type1 -> 4, type2 -> 4
+        jobs = JobSet([Job(0.8, 0, 10, name=f"j{i}") for i in range(5)])
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        types = sorted(k.type_index for k in sched.assignment.values())
+        assert types == [1, 1, 1, 1, 2]
+
+    def test_concurrency_budget_respected(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(150, rng, max_size=ladder.capacity(3))
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        for i in (1, 2):  # type m = 3 is unbounded
+            budget = group_budget(ladder.rate(i + 1) / ladder.rate(i))
+            peak = busy_machine_profile(sched, type_index=i).max()
+            # groups A and B each get `budget`
+            assert peak <= 2 * budget + 1e-9
+
+    def test_theorem2_bound_on_mu_workloads(self, rng):
+        ladder = dec_ladder(3)
+        for mu in (1.0, 4.0):
+            jobs = bounded_mu_workload(80, rng, mu=mu, max_size=ladder.capacity(3))
+            sched = run_online(jobs, DecOnlineScheduler(ladder))
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            assert sched.cost() <= 32.0 * (jobs.mu + 1.0) * lb + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=25, max_size=8.0), dec_ladder_strategy(max_m=4))
+    def test_property_feasible(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+
+    @settings(deadline=None, max_examples=20)
+    @given(jobset_strategy(max_jobs=20, max_size=8.0), dec_ladder_strategy(max_m=3))
+    def test_property_theorem2_bound(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = run_online(jobs, DecOnlineScheduler(ladder))
+        lb = lower_bound(jobs, ladder).value
+        if lb > 0:
+            assert sched.cost() <= 32.0 * (jobs.mu + 1.0) * lb * (1 + 1e-9)

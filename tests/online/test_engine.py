@@ -1,0 +1,87 @@
+"""Unit tests for the online engine, including structural non-clairvoyance."""
+
+import pytest
+
+from repro import Job, JobSet, JobView, MachineKey, run_online, single_type_ladder
+
+
+class RecordingScheduler:
+    """Places every job alone on a type-1 machine and records what it saw."""
+
+    def __init__(self, ladder):
+        self.ladder = ladder
+        self.seen_arrivals = []
+        self.seen_departures = []
+        self._n = 0
+
+    def on_arrival(self, job):
+        self.seen_arrivals.append(job)
+        self._n += 1
+        return MachineKey(1, ("rec", self._n))
+
+    def on_departure(self, uid):
+        self.seen_departures.append(uid)
+
+
+class TestEngine:
+    def test_arrival_order_and_schedule(self):
+        ladder = single_type_ladder(capacity=10.0)
+        jobs = JobSet([Job(1, 3, 5, name="late"), Job(1, 0, 9, name="early")])
+        sched = run_online(jobs, RecordingScheduler(ladder))
+        assert len(sched) == 2
+        assert sched.cost() == pytest.approx(2.0 + 9.0)
+
+    def test_views_hide_departure_time(self):
+        ladder = single_type_ladder(capacity=10.0)
+        jobs = JobSet([Job(1, 0, 7)])
+        scheduler = RecordingScheduler(ladder)
+        run_online(jobs, scheduler)
+        view = scheduler.seen_arrivals[0]
+        assert isinstance(view, JobView)
+        assert not hasattr(view, "departure")
+        assert view.size == 1.0 and view.arrival == 0.0
+
+    def test_departures_delivered_in_order(self):
+        ladder = single_type_ladder(capacity=10.0)
+        a = Job(1, 0, 2, name="a")
+        b = Job(1, 0, 5, name="b")
+        scheduler = RecordingScheduler(ladder)
+        run_online(JobSet([a, b]), scheduler)
+        assert scheduler.seen_departures == [a.uid, b.uid]
+
+    def test_departure_precedes_arrival_at_same_time(self):
+        ladder = single_type_ladder(capacity=10.0)
+        a = Job(1, 0, 4, name="a")
+        b = Job(1, 4, 6, name="b")
+        events = []
+
+        class Spy(RecordingScheduler):
+            def on_arrival(self, job):
+                events.append(("arrive", job.uid))
+                return super().on_arrival(job)
+
+            def on_departure(self, uid):
+                events.append(("depart", uid))
+
+        run_online(JobSet([a, b]), Spy(ladder))
+        assert events == [
+            ("arrive", a.uid),
+            ("depart", a.uid),
+            ("arrive", b.uid),
+            ("depart", b.uid),
+        ]
+
+    def test_bad_scheduler_return_rejected(self):
+        ladder = single_type_ladder(capacity=10.0)
+
+        class Bad(RecordingScheduler):
+            def on_arrival(self, job):
+                return "machine-1"
+
+        with pytest.raises(TypeError):
+            run_online(JobSet([Job(1, 0, 1)]), Bad(ladder))
+
+    def test_empty_instance(self):
+        ladder = single_type_ladder()
+        sched = run_online(JobSet(), RecordingScheduler(ladder))
+        assert sched.cost() == 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for homogeneous First-Fit ([14])."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    FirstFitScheduler,
+    Job,
+    JobSet,
+    lower_bound,
+    run_online,
+    single_type_ladder,
+    uniform_workload,
+)
+from repro.schedule.validate import assert_feasible
+from tests.conftest import jobset_strategy
+
+
+class TestFirstFit:
+    def test_packs_lowest_index(self):
+        ladder = single_type_ladder(capacity=2.0)
+        jobs = JobSet(
+            [
+                Job(1.0, 0, 10, name="a"),
+                Job(1.0, 1, 10, name="b"),  # fits machine 1
+                Job(1.0, 2, 10, name="c"),  # machine 1 full -> machine 2
+            ]
+        )
+        sched = run_online(jobs, FirstFitScheduler(ladder, 1))
+        machines = {sched.machine_of(j).tag for j in jobs}
+        assert machines == {("FF", 1), ("FF", 2)}
+
+    def test_reuses_emptied_machine(self):
+        ladder = single_type_ladder(capacity=1.0)
+        a = Job(1.0, 0, 2, name="a")
+        b = Job(1.0, 3, 5, name="b")
+        sched = run_online(JobSet([a, b]), FirstFitScheduler(ladder, 1))
+        assert sched.machine_of(a) == sched.machine_of(b)
+        # cost counts only busy time: 2 + 2
+        assert sched.cost() == pytest.approx(4.0)
+
+    def test_oversize_job_raises(self):
+        ladder = single_type_ladder(capacity=1.0)
+        with pytest.raises(ValueError, match="does not fit"):
+            run_online(JobSet([Job(2.0, 0, 1)]), FirstFitScheduler(ladder, 1))
+
+    def test_mu_plus_3_bound_of_ref14(self, rng):
+        """[14]: First-Fit is (mu+3)-competitive for MinUsageTime DBP."""
+        ladder = single_type_ladder(capacity=4.0)
+        for _ in range(3):
+            jobs = uniform_workload(80, rng, max_size=4.0)
+            sched = run_online(jobs, FirstFitScheduler(ladder, 1))
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            assert sched.cost() <= (jobs.mu + 3.0) * lb + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(jobset_strategy(max_jobs=30, max_size=4.0))
+    def test_property_feasible_and_bounded(self, jobs):
+        ladder = single_type_ladder(capacity=4.0)
+        sched = run_online(jobs, FirstFitScheduler(ladder, 1))
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        if lb > 0:
+            assert sched.cost() <= (jobs.mu + 3.0) * lb * (1 + 1e-9)

@@ -1,0 +1,82 @@
+"""Unit and property tests for GEN-ONLINE (our Section-V instantiation)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    GeneralOnlineScheduler,
+    IncOnlineScheduler,
+    Job,
+    JobSet,
+    lower_bound,
+    paper_fig2_ladder,
+    random_general_ladder,
+    run_online,
+    uniform_workload,
+)
+from repro.online.general_online import node_group_budget
+from repro.schedule.validate import assert_feasible
+from tests.conftest import any_ladder_strategy, jobset_strategy
+
+
+class TestNodeGroupBudget:
+    def test_formula(self, dec3):
+        # parent rate 2, node rate 1, 1 sibling: 2 * ceil(2) = 4
+        assert node_group_budget(dec3, 1, 2, 1) == 4
+
+    def test_more_siblings_smaller_budget(self):
+        ladder = paper_fig2_ladder()
+        assert node_group_budget(ladder, 1, 3, 4) <= node_group_budget(ladder, 1, 3, 1)
+
+
+class TestGeneralOnline:
+    def test_on_inc_ladder_matches_inc_online_types(self, inc3, rng):
+        jobs = uniform_workload(50, rng, max_size=inc3.capacity(3))
+        a = run_online(jobs, GeneralOnlineScheduler(inc3))
+        b = run_online(jobs, IncOnlineScheduler(inc3))
+        assert a.cost() == pytest.approx(b.cost(), rel=1e-12)
+
+    def test_feasible_on_fig2(self, rng):
+        ladder = paper_fig2_ladder()
+        jobs = uniform_workload(80, rng, max_size=ladder.capacity(8))
+        sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+
+    def test_job_types_follow_processing_path(self, rng):
+        ladder = paper_fig2_ladder()
+        forest = ladder.forest()
+        jobs = uniform_workload(80, rng, max_size=ladder.capacity(8))
+        sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+        for job, key in sched.assignment.items():
+            c = job.size_class(ladder.capacities)
+            assert key.type_index in forest.path_to_root(c)
+
+    def test_root_absorbs_overflow(self):
+        """Many concurrent class-1 jobs exceed node 1's budget and spill to
+        the tree root's unbounded pools."""
+        ladder = paper_fig2_ladder()  # tree {1,2,3} rooted at 3
+        jobs = JobSet([Job(0.9, 0, 10, name=f"j{i}") for i in range(30)])
+        sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        used_types = {k.type_index for k in sched.assignment.values()}
+        assert 3 in used_types  # overflow reached the root
+
+    def test_sqrt_m_mu_shape(self, rng):
+        for m in (2, 4, 8):
+            ladder = random_general_ladder(m, rng)
+            jobs = uniform_workload(60, rng, max_size=ladder.capacity(m))
+            sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            bound = 32.0 * math.sqrt(m) * (jobs.mu + 1.0)
+            assert sched.cost() <= bound * lb + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=25, max_size=8.0), any_ladder_strategy(max_m=5))
+    def test_property_feasible_on_any_ladder(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = run_online(jobs, GeneralOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)

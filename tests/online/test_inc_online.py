@@ -1,0 +1,57 @@
+"""Unit and property tests for INC-ONLINE (Section IV)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    IncOnlineScheduler,
+    Job,
+    JobSet,
+    bounded_mu_workload,
+    inc_ladder,
+    lower_bound,
+    run_online,
+    uniform_workload,
+)
+from repro.schedule.validate import assert_feasible
+from tests.conftest import inc_ladder_strategy, jobset_strategy
+
+
+class TestIncOnline:
+    def test_job_lands_in_its_class(self, inc3):
+        # capacities 1, 1.5, 2.25
+        jobs = JobSet([Job(0.5, 0, 1), Job(1.2, 0, 1), Job(2.0, 0, 1)])
+        sched = run_online(jobs, IncOnlineScheduler(inc3))
+        classes = sorted(k.type_index for k in sched.assignment.values())
+        assert classes == [1, 2, 3]
+
+    def test_classes_never_share_machines(self, inc3, rng):
+        jobs = uniform_workload(80, rng, max_size=inc3.capacity(3))
+        sched = run_online(jobs, IncOnlineScheduler(inc3))
+        assert_feasible(sched, jobs)
+        for job, key in sched.assignment.items():
+            assert job.size_class(inc3.capacities) == key.type_index
+
+    def test_oversize_rejected(self, inc3):
+        with pytest.raises(ValueError):
+            run_online(JobSet([Job(50.0, 0, 1)]), IncOnlineScheduler(inc3))
+
+    def test_section4_bound_on_mu_workloads(self, rng):
+        ladder = inc_ladder(4)
+        for mu in (1.0, 4.0):
+            jobs = bounded_mu_workload(80, rng, mu=mu, max_size=ladder.capacity(4))
+            sched = run_online(jobs, IncOnlineScheduler(ladder))
+            assert_feasible(sched, jobs)
+            lb = lower_bound(jobs, ladder).value
+            assert sched.cost() <= (2.25 * jobs.mu + 6.75) * lb + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(jobset_strategy(max_jobs=25, max_size=4.0), inc_ladder_strategy(max_m=4))
+    def test_property_feasible_and_bounded(self, jobs, ladder):
+        if not ladder.fits(jobs.max_size):
+            return
+        sched = run_online(jobs, IncOnlineScheduler(ladder))
+        assert_feasible(sched, jobs)
+        lb = lower_bound(jobs, ladder).value
+        if lb > 0:
+            assert sched.cost() <= (2.25 * jobs.mu + 6.75) * lb * (1 + 1e-9)

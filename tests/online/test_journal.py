@@ -1,0 +1,63 @@
+"""Tests for the decision journal."""
+
+import pytest
+
+from repro import (
+    DecOnlineScheduler,
+    Job,
+    JobSet,
+    dec_ladder,
+    run_online,
+    uniform_workload,
+)
+from repro.online.journal import JournalingScheduler, render_journal
+from repro.schedule.validate import assert_feasible
+
+
+class TestJournalingScheduler:
+    def test_transparent_delegation(self, rng):
+        """Wrapping must not change the schedule at all."""
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(40, rng, max_size=ladder.capacity(3))
+        plain = run_online(jobs, DecOnlineScheduler(ladder))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        journaled = run_online(jobs, wrapped)
+        assert {(j.uid, k) for j, k in plain.assignment.items()} == {
+            (j.uid, k) for j, k in journaled.assignment.items()
+        }
+        assert_feasible(journaled, jobs)
+
+    def test_one_decision_per_job(self, rng):
+        ladder = dec_ladder(2)
+        jobs = uniform_workload(25, rng, max_size=ladder.capacity(2))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        assert len(wrapped.journal.decisions) == 25
+        assert len(wrapped.journal.departures) == 25
+
+    def test_active_count_balanced(self):
+        ladder = dec_ladder(2)
+        jobs = JobSet([Job(0.5, 0, 2), Job(0.5, 1, 3)])
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        # final departure leaves zero active
+        assert wrapped.journal.departures[-1][0] == 0
+        # first arrival saw one active (itself)
+        assert wrapped.journal.decisions[0].active_jobs_after == 1
+
+    def test_decisions_on_machine(self, rng):
+        ladder = dec_ladder(2)
+        jobs = uniform_workload(20, rng, max_size=ladder.capacity(2))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        for key in wrapped.journal.machines_used():
+            assert wrapped.journal.decisions_on(key)
+
+    def test_render(self, rng):
+        ladder = dec_ladder(2)
+        jobs = uniform_workload(50, rng, max_size=ladder.capacity(2))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        text = render_journal(wrapped.journal, limit=10)
+        assert "50 placements" in text
+        assert "more placements" in text

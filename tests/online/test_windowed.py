@@ -1,0 +1,47 @@
+"""Tests for the windowed semi-online scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import dec_ladder, dec_offline, poisson_workload
+from repro.online.windowed import windowed_schedule
+from repro.schedule.validate import assert_feasible
+from tests.conftest import jobset_strategy
+
+
+class TestWindowed:
+    def test_feasible(self, rng):
+        ladder = dec_ladder(3)
+        jobs = poisson_workload(80, rng, max_size=ladder.capacity(3))
+        sched = windowed_schedule(jobs, ladder, dec_offline, window=5.0)
+        assert_feasible(sched, jobs)
+
+    def test_batches_never_share_machines(self, rng):
+        ladder = dec_ladder(3)
+        jobs = poisson_workload(60, rng, max_size=ladder.capacity(3))
+        window = 5.0
+        sched = windowed_schedule(jobs, ladder, dec_offline, window=window)
+        for job, key in sched.assignment.items():
+            assert key.tag[0] == "w"
+            assert key.tag[1] == int(job.arrival // window)
+
+    def test_giant_window_equals_offline_cost(self, rng):
+        ladder = dec_ladder(3)
+        jobs = poisson_workload(50, rng, max_size=ladder.capacity(3))
+        horizon = max(j.departure for j in jobs) + 1
+        a = windowed_schedule(jobs, ladder, dec_offline, window=horizon)
+        b = dec_offline(jobs, ladder)
+        assert a.cost() == pytest.approx(b.cost(), rel=1e-9)
+
+    def test_invalid_window(self, rng, dec3):
+        jobs = poisson_workload(5, rng, max_size=dec3.capacity(3))
+        with pytest.raises(ValueError):
+            windowed_schedule(jobs, dec3, dec_offline, window=0.0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(jobset_strategy(max_jobs=20, max_size=8.0))
+    def test_property_feasible_any_window(self, jobs):
+        ladder = dec_ladder(3)
+        for window in (0.5, 3.0, 100.0):
+            sched = windowed_schedule(jobs, ladder, dec_offline, window=window)
+            assert_feasible(sched, jobs)

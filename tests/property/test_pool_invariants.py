@@ -1,0 +1,101 @@
+"""Property tests for the indexed machine pools under random traffic.
+
+The pools are the load-bearing state machine of every online algorithm;
+these tests drive them with hypothesis-generated admit/release traffic and
+check the invariants the schedulers rely on:
+
+- load never exceeds capacity,
+- the concurrency budget is never exceeded,
+- lowest-index preference: when a job is admitted to machine k, no machine
+  with a smaller index could have accepted it at that moment,
+- single-job pools never co-host.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machines.fleet import IndexedPool
+
+CAPACITY = 4.0
+
+
+@st.composite
+def traffic(draw):
+    """A sequence of (kind, payload) events: admit(size) / release(nth)."""
+    events = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("admit"), st.floats(0.1, CAPACITY)),
+                st.tuples(st.just("release"), st.integers(0, 50)),
+            ),
+            max_size=60,
+        )
+    )
+    return events
+
+
+def _drive(pool: IndexedPool, events) -> list:
+    """Replay traffic; returns (event, machine-or-None) decisions."""
+    live: list[tuple[int, object]] = []  # (uid, machine)
+    decisions = []
+    uid = 0
+    for kind, payload in events:
+        if kind == "admit":
+            uid += 1
+            machine = pool.first_fit(uid, float(payload))
+            if machine is not None:
+                live.append((uid, machine))
+            decisions.append((kind, payload, machine))
+        else:
+            if live:
+                idx = int(payload) % len(live)
+                gone_uid, machine = live.pop(idx)
+                machine.release(gone_uid)
+            decisions.append((kind, payload, None))
+    return decisions
+
+
+@settings(deadline=None, max_examples=60)
+@given(traffic(), st.one_of(st.none(), st.integers(1, 5)))
+def test_pool_capacity_and_budget(events, budget):
+    pool = IndexedPool("A", 1, CAPACITY, budget=budget)
+    _drive(pool, events)
+    for machine in pool.machines:
+        assert machine.load <= CAPACITY + 1e-9
+    if budget is not None:
+        assert pool.busy_count() <= budget
+
+
+@settings(deadline=None, max_examples=60)
+@given(traffic())
+def test_pool_lowest_index_preference(events):
+    pool = IndexedPool("A", 1, CAPACITY, budget=None)
+    live: list[tuple[int, object]] = []
+    uid = 0
+    for kind, payload in events:
+        if kind == "admit":
+            uid += 1
+            size = float(payload)
+            # snapshot feasibility before the pool mutates
+            feasible_before = [
+                m.key.tag[1] for m in pool.machines if m.fits(size)
+            ]
+            machine = pool.first_fit(uid, size)
+            assert machine is not None  # unbounded pool always places
+            live.append((uid, machine))
+            chosen = machine.key.tag[1]
+            if feasible_before:
+                assert chosen <= min(feasible_before)
+        else:
+            if live:
+                idx = int(payload) % len(live)
+                gone_uid, m = live.pop(idx)
+                m.release(gone_uid)
+
+
+@settings(deadline=None, max_examples=60)
+@given(traffic())
+def test_single_job_pool_never_cohosts(events):
+    pool = IndexedPool("B", 1, CAPACITY, budget=None, single_job=True)
+    _drive(pool, events)
+    for machine in pool.machines:
+        assert len(machine.resident) <= 1

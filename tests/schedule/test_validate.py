@@ -1,0 +1,94 @@
+"""Unit tests for the feasibility checker."""
+
+import pytest
+
+from repro import (
+    FeasibilityError,
+    Job,
+    JobSet,
+    MachineKey,
+    Schedule,
+    assert_feasible,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def jobs3():
+    return JobSet(
+        [
+            Job(0.6, 0, 4, name="a"),
+            Job(0.6, 1, 5, name="b"),
+            Job(0.6, 2, 6, name="c"),
+        ]
+    )
+
+
+class TestValidate:
+    def test_feasible(self, dec3, jobs3):
+        a, b, c = jobs3.jobs
+        sched = Schedule(
+            dec3,
+            {
+                a: MachineKey(1, ("m", 0)),
+                b: MachineKey(1, ("m", 1)),
+                c: MachineKey(2, ("m", 2)),
+            },
+        )
+        report = validate_schedule(sched, jobs3)
+        assert report.ok
+        assert report.summary() == "feasible"
+        assert_feasible(sched, jobs3)  # no raise
+
+    def test_missing_job(self, dec3, jobs3):
+        a, b, _ = jobs3.jobs
+        sched = Schedule(
+            dec3, {a: MachineKey(1, ("m", 0)), b: MachineKey(1, ("m", 1))}
+        )
+        report = validate_schedule(sched, jobs3)
+        assert not report.ok
+        assert len(report.missing_jobs) == 1
+        with pytest.raises(FeasibilityError, match="unscheduled"):
+            assert_feasible(sched, jobs3)
+
+    def test_extra_job(self, dec3, jobs3):
+        stranger = Job(0.1, 0, 1, name="z")
+        mapping = {j: MachineKey(2, ("m", i)) for i, j in enumerate(jobs3)}
+        mapping[stranger] = MachineKey(1, ("m", 99))
+        report = validate_schedule(Schedule(dec3, mapping), jobs3)
+        assert not report.ok
+        assert len(report.extra_jobs) == 1
+
+    def test_oversize_job(self, dec3):
+        big = Job(5.0, 0, 2, name="big")  # type 1 capacity is 1
+        inst = JobSet([big])
+        sched = Schedule(dec3, {big: MachineKey(1, ("m", 0))})
+        report = validate_schedule(sched, inst)
+        assert not report.ok
+        assert report.oversize_jobs
+        assert report.overloaded  # peak also exceeds capacity
+
+    def test_concurrent_overload(self, dec3, jobs3):
+        # all three 0.6-jobs on one capacity-1 machine: peak 1.8 > 1
+        key = MachineKey(1, ("m", 0))
+        sched = Schedule(dec3, {j: key for j in jobs3})
+        report = validate_schedule(sched, jobs3)
+        assert not report.ok
+        assert report.overloaded
+        assert not report.oversize_jobs  # each job alone fits
+
+    def test_sequential_reuse_not_overload(self, dec3):
+        a = Job(0.9, 0, 2, name="a")
+        b = Job(0.9, 2, 4, name="b")  # arrives exactly when a departs
+        inst = JobSet([a, b])
+        key = MachineKey(1, ("m", 0))
+        report = validate_schedule(Schedule(dec3, {a: key, b: key}), inst)
+        assert report.ok
+
+    def test_summary_mentions_each_failure(self, dec3, jobs3):
+        key = MachineKey(1, ("m", 0))
+        sched = Schedule(dec3, {j: key for j in list(jobs3)[:2]})
+        report = validate_schedule(sched, jobs3)
+        text = report.summary()
+        assert "unscheduled" in text
+        assert "overloaded" in text

@@ -1,0 +1,59 @@
+"""Meta-tests: public-API hygiene.
+
+Every public symbol exported from ``repro`` must have a docstring; every
+``__all__`` entry must resolve; the version is a sane semver string.
+These are the checks that keep a library adoptable.
+"""
+
+import inspect
+import re
+
+import repro
+
+
+class TestApiQuality:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing symbol {name}"
+
+    def test_every_public_callable_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    missing.append(name)
+        assert not missing, f"public symbols without docstrings: {missing}"
+
+    def test_public_classes_expose_documented_methods(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if not inspect.isclass(obj):
+                continue
+            for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{meth_name}")
+        # allow a small budget for trivial dunder-adjacent helpers
+        assert len(undocumented) <= 10, f"undocumented methods: {undocumented}"
+
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_every_module_has_docstring(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        missing = []
+        for path in root.rglob("*.py"):
+            text = path.read_text()
+            stripped = text.lstrip()
+            if not stripped:  # empty __init__ stubs are fine
+                continue
+            if not (stripped.startswith('"""') or stripped.startswith("'''")):
+                missing.append(str(path.relative_to(root)))
+        assert not missing, f"modules without docstrings: {missing}"

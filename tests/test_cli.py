@@ -1,0 +1,82 @@
+"""Tests for the ``bshm`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro import dec_ladder, uniform_workload
+from repro.jobs.io import write_jobs_csv, write_ladder_csv
+
+
+@pytest.fixture
+def trace_files(tmp_path):
+    rng = np.random.default_rng(2)
+    ladder = dec_ladder(3)
+    jobs = uniform_workload(20, rng, max_size=ladder.capacity(3))
+    trace = tmp_path / "trace.csv"
+    lad = tmp_path / "ladder.csv"
+    write_jobs_csv(jobs, trace)
+    write_ladder_csv(ladder, lad)
+    return str(trace), str(lad)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E15" in out
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "E9", "--scale", "quick"]) == 0
+        assert "status: PASS" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+    def test_schedule_auto(self, trace_files, capsys, tmp_path):
+        trace, ladder = trace_files
+        out_csv = str(tmp_path / "assign.csv")
+        assert main(["schedule", trace, "--ladder", ladder, "--output", out_csv]) == 0
+        out = capsys.readouterr().out
+        assert "dec-offline" in out  # auto picked the DEC algorithm
+        assert "ratio" in out
+        assert (tmp_path / "assign.csv").exists()
+
+    def test_schedule_explicit_algorithm(self, trace_files, capsys):
+        trace, ladder = trace_files
+        assert main(["schedule", trace, "--ladder", ladder, "--algorithm", "gen-online"]) == 0
+        assert "gen-online" in capsys.readouterr().out
+
+    def test_schedule_unknown_algorithm(self, trace_files, capsys):
+        trace, ladder = trace_files
+        assert main(["schedule", trace, "--ladder", ladder, "--algorithm", "magic"]) == 2
+
+    def test_generate_and_recommend(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.csv")
+        lad = str(tmp_path / "l.csv")
+        assert (
+            main(
+                [
+                    "generate", "--workload", "poisson", "--n", "25",
+                    "--out", trace, "--ladder", "dec", "--ladder-out", lad,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["recommend", trace, "--ladder", lad]) == 0
+        out = capsys.readouterr().out
+        assert "recommended types" in out
+
+    def test_generate_unknown_workload(self, tmp_path):
+        assert (
+            main(["generate", "--workload", "nope", "--out", str(tmp_path / "x.csv")])
+            == 2
+        )
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "DEC-OFFLINE" in out
+        assert "demand chart" in out

@@ -1,0 +1,59 @@
+"""Tests for SVG export."""
+
+import xml.etree.ElementTree as ET
+
+from repro import JobSet, dec_offline, place_jobs
+from repro.viz.svg import gantt_svg, placement_svg
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg.split("?>", 1)[1])
+
+
+class TestPlacementSvg:
+    def test_well_formed_xml(self, small_jobs):
+        svg = placement_svg(place_jobs(small_jobs))
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_job_plus_background(self, small_jobs):
+        svg = placement_svg(place_jobs(small_jobs))
+        root = _parse(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) == len(small_jobs) + 1  # + background
+
+    def test_titles_carry_job_names(self, small_jobs):
+        svg = placement_svg(place_jobs(small_jobs))
+        for job in small_jobs:
+            assert job.name in svg
+
+    def test_strip_lines(self, small_jobs):
+        svg = placement_svg(place_jobs(small_jobs), strip_height=1.0)
+        root = _parse(svg)
+        lines = [el for el in root.iter() if el.tag.endswith("line")]
+        assert lines
+
+    def test_empty_placement(self):
+        svg = placement_svg(place_jobs(JobSet()))
+        assert _parse(svg) is not None
+
+
+class TestGanttSvg:
+    def test_lane_per_machine(self, dec3, small_jobs):
+        sched = dec_offline(small_jobs, dec3)
+        svg = gantt_svg(sched)
+        root = _parse(svg)
+        texts = [el for el in root.iter() if el.tag.endswith("text")]
+        assert len(texts) == len(sched.machines())
+
+    def test_rect_per_job(self, dec3, small_jobs):
+        sched = dec_offline(small_jobs, dec3)
+        root = _parse(gantt_svg(sched))
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) == len(small_jobs) + 1  # + background
+
+    def test_empty_schedule(self, dec3):
+        from repro.schedule.schedule import Schedule
+
+        svg = gantt_svg(Schedule(dec3, {}))
+        assert _parse(svg) is not None

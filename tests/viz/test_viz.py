@@ -1,0 +1,70 @@
+"""Unit tests for the ASCII visualizations."""
+
+from repro import (
+    Job,
+    JobSet,
+    dec_offline,
+    paper_fig2_ladder,
+    place_jobs,
+    pulse,
+)
+from repro.viz.ascii_chart import render_placement, render_profile
+from repro.viz.forest_viz import render_forest
+from repro.viz.gantt import render_gantt
+
+
+class TestAsciiChart:
+    def test_render_placement_shows_all_jobs(self, small_jobs):
+        art = render_placement(place_jobs(small_jobs), width=40, height=10)
+        assert "peak demand" in art
+        # letters A..D for 4 jobs
+        for ch in "ABCD":
+            assert ch in art
+
+    def test_render_placement_empty(self):
+        art = render_placement(place_jobs(JobSet()))
+        assert "empty" in art
+
+    def test_strip_lines_drawn(self, small_jobs):
+        art = render_placement(place_jobs(small_jobs), strip_height=1.0, height=12)
+        assert "-" in art
+
+    def test_render_profile(self):
+        art = render_profile(pulse(0, 10, 3.0), width=20, height=6)
+        assert "#" in art
+
+    def test_render_profile_zero(self):
+        from repro import StepFunction
+
+        assert "zero" in render_profile(StepFunction.zero())
+
+
+class TestForestViz:
+    def test_fig2_render(self):
+        art = render_forest(paper_fig2_ladder().forest())
+        assert "3 trees" in art
+        assert "tree rooted at 3" in art
+        assert "r/g=" in art
+
+
+class TestGantt:
+    def test_gantt_rows_per_machine(self, dec3, small_jobs):
+        sched = dec_offline(small_jobs, dec3)
+        art = render_gantt(sched)
+        assert "total cost" in art
+        assert art.count("busy=") == len(sched.machines())
+
+    def test_gantt_truncation(self, dec3, rng):
+        from repro import uniform_workload
+        from repro.baselines.naive import OneJobPerMachine
+        from repro import run_online
+
+        jobs = uniform_workload(60, rng, max_size=dec3.capacity(3))
+        sched = run_online(jobs, OneJobPerMachine(dec3))
+        art = render_gantt(sched, max_machines=5)
+        assert "more machines" in art
+
+    def test_gantt_empty(self, dec3):
+        from repro.schedule.schedule import Schedule
+
+        assert "empty" in render_gantt(Schedule(dec3, {}))

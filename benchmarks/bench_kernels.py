@@ -13,6 +13,9 @@ from repro import (
     dec_offline,
     elementary_segments,
     sum_pulses,
+    sweep_busy_union,
+    sweep_grouped_busy_time,
+    sweep_peak_load,
     validate_schedule,
 )
 from repro.core.interval_tree import StaticIntervalTree
@@ -24,6 +27,29 @@ def test_kernel_sum_pulses_10k(benchmark, bench_rng):
     pulses = [(float(a), float(a + d), 1.0) for a, d in zip(starts, durations)]
     profile = benchmark(sum_pulses, pulses)
     assert profile.max() > 0
+
+
+def test_kernel_sweep_busy_union_10k(benchmark, bench_rng):
+    starts = bench_rng.uniform(0, 1000, size=10_000)
+    ends = starts + bench_rng.uniform(0.5, 20, size=10_000)
+    union = benchmark(sweep_busy_union, starts, ends)
+    assert union.length > 0
+
+
+def test_kernel_sweep_peak_load_10k(benchmark, bench_rng):
+    starts = bench_rng.uniform(0, 1000, size=10_000)
+    ends = starts + bench_rng.uniform(0.5, 20, size=10_000)
+    sizes = bench_rng.uniform(0.05, 1.0, size=10_000)
+    peak = benchmark(sweep_peak_load, starts, ends, sizes)
+    assert peak > 0
+
+
+def test_kernel_sweep_grouped_busy_time_10k(benchmark, bench_rng):
+    starts = bench_rng.uniform(0, 1000, size=10_000)
+    ends = starts + bench_rng.uniform(0.5, 20, size=10_000)
+    groups = bench_rng.integers(0, 500, size=10_000)
+    busy = benchmark(sweep_grouped_busy_time, starts, ends, groups, 500)
+    assert busy.sum() > 0
 
 
 def test_kernel_config_solver(benchmark):

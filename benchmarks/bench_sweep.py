@@ -1,0 +1,197 @@
+"""Sweep kernels vs their ``*_reference`` oracles: the perf guardrail.
+
+Two entry points:
+
+- ``python benchmarks/bench_sweep.py`` — times every sweep kernel against
+  its naive reference on a 10k-job workload, writes the results to
+  ``BENCH_sweep.json`` at the repo root and **fails** (exit 1) unless each
+  kernel is at least :data:`MIN_SPEEDUP` times faster than its oracle.
+- ``pytest benchmarks/bench_sweep.py`` — a quicker smoke (2k jobs) asserting
+  the sweep path is never *slower* than the reference, plus pytest-benchmark
+  measurements of the sweep side alone.
+
+The references are the retired per-time-point implementations (see
+``repro/core/sweep.py``); correctness equivalence is pinned separately by
+``tests/property/test_sweep_oracle.py`` — this file only guards speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    busy_time_reference,
+    busy_union_reference,
+    demand_profile_reference,
+    grouped_busy_time_reference,
+    peak_load_reference,
+    sweep_busy_time,
+    sweep_busy_union,
+    sweep_demand_profile,
+    sweep_grouped_busy_time,
+    sweep_nested_demand,
+    sweep_peak_load,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+
+N_JOBS = 10_000
+N_MACHINES = 500
+MIN_SPEEDUP = 5.0
+
+
+def make_workload(n: int, n_machines: int = N_MACHINES, seed: int = 2020):
+    """Synthetic interval batch shaped like the E-series workloads."""
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0.0, 1000.0, size=n)
+    ends = starts + rng.uniform(0.5, 20.0, size=n)
+    sizes = rng.uniform(0.05, 1.0, size=n)
+    groups = rng.integers(0, n_machines, size=n)
+    return starts, ends, sizes, groups
+
+
+def _best_of(fn, *args, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_suite(n: int = N_JOBS, *, ref_reps: int = 1, sweep_reps: int = 5) -> list[dict]:
+    """Time each sweep kernel against its reference; return one row per pair.
+
+    ``ref_reps`` defaults to 1 because two of the references are quadratic —
+    at 10k jobs a single run is already seconds.
+    """
+    starts, ends, sizes, groups = make_workload(n)
+    n_machines = int(groups.max()) + 1
+    pulses = [(float(a), float(b), float(s)) for a, b, s in zip(starts, ends, sizes)]
+
+    pairs = [
+        (
+            "demand_profile",
+            lambda: sweep_demand_profile(pulses),
+            lambda: demand_profile_reference(pulses),
+        ),
+        (
+            "busy_union",
+            lambda: sweep_busy_union(starts, ends),
+            lambda: busy_union_reference(starts, ends),
+        ),
+        (
+            "busy_time",
+            lambda: sweep_busy_time(starts, ends),
+            lambda: busy_time_reference(starts, ends),
+        ),
+        (
+            "peak_load",
+            lambda: sweep_peak_load(starts, ends, sizes),
+            lambda: peak_load_reference(starts, ends, sizes),
+        ),
+        (
+            "grouped_busy_time",
+            lambda: sweep_grouped_busy_time(starts, ends, groups, n_machines),
+            lambda: grouped_busy_time_reference(starts, ends, groups, n_machines),
+        ),
+    ]
+
+    rows = []
+    for name, fast, ref in pairs:
+        t_fast = _best_of(fast, reps=sweep_reps)
+        t_ref = _best_of(ref, reps=ref_reps)
+        rows.append(
+            {
+                "kernel": name,
+                "sweep_ms": round(t_fast * 1e3, 3),
+                "reference_ms": round(t_ref * 1e3, 3),
+                "speedup": round(t_ref / t_fast, 1),
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    rows = run_suite()
+    payload = {
+        "workload": {"n_jobs": N_JOBS, "n_machines": N_MACHINES, "seed": 2020},
+        "min_speedup_required": MIN_SPEEDUP,
+        "kernels": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    width = max(len(r["kernel"]) for r in rows)
+    print(f"{'kernel':<{width}}  {'sweep':>10}  {'reference':>10}  speedup")
+    for r in rows:
+        print(
+            f"{r['kernel']:<{width}}  {r['sweep_ms']:>8.3f}ms"
+            f"  {r['reference_ms']:>8.3f}ms  {r['speedup']:>6.1f}x"
+        )
+    slow = [r for r in rows if r["speedup"] < MIN_SPEEDUP]
+    if slow:
+        names = ", ".join(r["kernel"] for r in slow)
+        print(f"FAIL: below the {MIN_SPEEDUP}x floor: {names}")
+        return 1
+    print(f"OK: every kernel >= {MIN_SPEEDUP}x faster; written to {OUTPUT.name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI smoke + microbenchmarks)
+# ---------------------------------------------------------------------------
+
+def test_sweep_never_slower_than_reference():
+    """CI smoke: on a 2k-job workload every sweep kernel beats its oracle."""
+    for row in run_suite(n=2_000):
+        assert row["speedup"] >= 1.0, row
+
+
+def test_committed_bench_shows_target_speedup():
+    """The committed BENCH_sweep.json records the >= 5x acceptance run."""
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["workload"]["n_jobs"] == N_JOBS
+    kernels = {r["kernel"] for r in payload["kernels"]}
+    assert kernels == {
+        "demand_profile",
+        "busy_union",
+        "busy_time",
+        "peak_load",
+        "grouped_busy_time",
+    }
+    for row in payload["kernels"]:
+        assert row["speedup"] >= MIN_SPEEDUP, row
+
+
+def test_bench_sweep_demand_profile_10k(benchmark):
+    starts, ends, sizes, _ = make_workload(N_JOBS)
+    pulses = [(float(a), float(b), float(s)) for a, b, s in zip(starts, ends, sizes)]
+    profile = benchmark(sweep_demand_profile, pulses)
+    assert profile.max() > 0
+
+
+def test_bench_sweep_grouped_busy_time_10k(benchmark):
+    starts, ends, _, groups = make_workload(N_JOBS)
+    busy = benchmark(sweep_grouped_busy_time, starts, ends, groups, N_MACHINES)
+    assert busy.sum() > 0
+
+
+def test_bench_sweep_nested_demand_10k(benchmark):
+    from repro import Job
+
+    starts, ends, sizes, _ = make_workload(N_JOBS)
+    jobs = [
+        Job(size=float(s), arrival=float(a), departure=float(b))
+        for a, b, s in zip(starts, ends, sizes)
+    ]
+    times, active, demand = benchmark(sweep_nested_demand, jobs, [0.2, 0.5, 1.0])
+    assert demand.shape[0] == 3 and active.max() > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

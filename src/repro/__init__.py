@@ -18,8 +18,24 @@ Quickstart
 """
 
 from .core.intervals import Interval, IntervalSet, union_length
-from .core.stepfun import StepFunction, pulse, sum_pulses
+from .core.stepfun import StepFunction, pulse, sum_pulses, sum_pulses_reference
 from .core.events import Event, EventKind, event_stream, elementary_segments
+from .core.sweep import (
+    BusyIntervalCache,
+    busy_time_reference,
+    busy_union_reference,
+    demand_profile_reference,
+    grouped_busy_time_reference,
+    merged_events,
+    nested_demand_reference,
+    peak_load_reference,
+    sweep_busy_time,
+    sweep_busy_union,
+    sweep_demand_profile,
+    sweep_grouped_busy_time,
+    sweep_nested_demand,
+    sweep_peak_load,
+)
 from .jobs.job import Job
 from .jobs.jobset import JobSet
 from .jobs.generators.workloads import (
@@ -115,6 +131,21 @@ __all__ = [
     "StepFunction",
     "pulse",
     "sum_pulses",
+    "sum_pulses_reference",
+    "BusyIntervalCache",
+    "busy_time_reference",
+    "busy_union_reference",
+    "demand_profile_reference",
+    "grouped_busy_time_reference",
+    "merged_events",
+    "nested_demand_reference",
+    "peak_load_reference",
+    "sweep_busy_time",
+    "sweep_busy_union",
+    "sweep_demand_profile",
+    "sweep_grouped_busy_time",
+    "sweep_nested_demand",
+    "sweep_peak_load",
     "Event",
     "EventKind",
     "event_stream",

@@ -18,7 +18,7 @@ import numpy as np
 
 from .intervals import Interval, IntervalSet
 
-__all__ = ["StepFunction", "pulse", "sum_pulses"]
+__all__ = ["StepFunction", "pulse", "sum_pulses", "sum_pulses_reference"]
 
 
 class StepFunction:
@@ -235,9 +235,19 @@ def pulse(left: float, right: float, height: float) -> StepFunction:
 def sum_pulses(pulses: Sequence[tuple[float, float, float]]) -> StepFunction:
     """Sum of rectangular pulses ``(left, right, height)`` via one sweep.
 
-    This is the workhorse for demand profiles: O(n log n) instead of n
-    pairwise additions.
+    This is the workhorse for demand profiles: one vectorized merged event
+    queue (O(n log n)) instead of n pairwise additions.  See
+    :func:`repro.core.sweep.sweep_demand_profile` for the kernel and
+    :func:`sum_pulses_reference` for the retired pure-Python version.
     """
+    from .sweep import sweep_demand_profile  # deferred: sweep imports stepfun
+
+    return sweep_demand_profile(pulses)
+
+
+def sum_pulses_reference(pulses: Sequence[tuple[float, float, float]]) -> StepFunction:
+    """The pre-sweep-kernel implementation (dict of event deltas), kept as a
+    differential-test oracle for :func:`sum_pulses`."""
     if not pulses:
         return StepFunction.zero()
     events: dict[float, float] = {}

@@ -20,6 +20,7 @@ import numpy as np
 from ..core.intervals import Interval, IntervalSet
 from ..core.stepfun import StepFunction, sum_pulses
 from ..core.events import elementary_segments
+from ..core.sweep import sweep_busy_union, sweep_peak_load
 from .job import Job
 
 __all__ = ["JobSet"]
@@ -101,7 +102,11 @@ class JobSet:
 
     def busy_span(self) -> IntervalSet:
         """``U_{J in set} I(J)`` — the union of all active intervals."""
-        return IntervalSet(j.interval for j in self._jobs)
+        if not self._jobs:
+            return IntervalSet()
+        return sweep_busy_union(
+            [j.arrival for j in self._jobs], [j.departure for j in self._jobs]
+        )
 
     def segments(self) -> list[Interval]:
         """Elementary segments on which every aggregate is constant."""
@@ -132,8 +137,14 @@ class JobSet:
         return sum(j.size * j.duration for j in self._jobs)
 
     def peak_demand(self) -> float:
-        """``max_t s(J, t)``."""
-        return self.demand_profile().max()
+        """``max_t s(J, t)`` (event sweep; no profile object built)."""
+        if not self._jobs:
+            return 0.0
+        return sweep_peak_load(
+            [j.arrival for j in self._jobs],
+            [j.departure for j in self._jobs],
+            [j.size for j in self._jobs],
+        )
 
     # -- transformations -------------------------------------------------------
     def filter(self, predicate: Callable[[Job], bool]) -> "JobSet":

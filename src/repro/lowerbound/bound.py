@@ -14,12 +14,15 @@ Theorem-2 analysis benches.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.intervals import IntervalSet
+from ..analysis.profiling import Profiler
+from ..core.intervals import Interval, IntervalSet
 from ..core.stepfun import StepFunction
+from ..core.sweep import sweep_nested_demand
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from .config import ConfigSolver
@@ -61,33 +64,42 @@ class LowerBoundResult:
         return max((c[i - 1] for c in self.counts), default=0)
 
 
-def lower_bound(jobs: JobSet, ladder: Ladder) -> LowerBoundResult:
-    """Exact evaluation of the Eq.-(1) lower bound for an instance."""
-    segments = jobs.segments()
-    if not segments:
-        return LowerBoundResult(0.0, ladder, (), (), ())
+def lower_bound(
+    jobs: JobSet, ladder: Ladder, *, profiler: Profiler | None = None
+) -> LowerBoundResult:
+    """Exact evaluation of the Eq.-(1) lower bound for an instance.
 
-    # Vectorized nested demands: per type i, profile of jobs with size > g_{i-1}.
-    mids = np.array([(s.left + s.right) / 2.0 for s in segments])
-    demand_rows = []
-    for i in range(1, ladder.m + 1):
-        g_prev = ladder.capacity(i - 1)
-        sub = jobs.filter(lambda j, g=g_prev: j.size > g)
-        profile = sub.demand_profile()
-        demand_rows.append(np.asarray(profile(mids), dtype=float))
-    demand_matrix = np.vstack(demand_rows)  # shape (m, n_segments)
-    # enforce the non-increasing invariant against float noise
-    demand_matrix = np.maximum.accumulate(demand_matrix[::-1], axis=0)[::-1]
+    The nested per-type demands ``s(J_{>=i}, t)`` come from ONE merged event
+    sweep (:func:`~repro.core.sweep.sweep_nested_demand`) instead of ``m``
+    independent profile constructions; segments where no job is active are
+    skipped, exactly as :meth:`JobSet.segments` used to do.
+    """
+    if jobs.empty:
+        return LowerBoundResult(0.0, ladder, (), (), ())
+    times, active, demand_matrix = sweep_nested_demand(
+        list(jobs), ladder.capacities
+    )
+    live = np.flatnonzero(active > 0)
+    if live.size == 0:
+        return LowerBoundResult(0.0, ladder, (), (), ())
+    segments = [
+        Interval(float(times[k]), float(times[k + 1])) for k in live
+    ]
+    if profiler is not None:
+        profiler.count("lb.segments", len(segments))
+        profiler.count("lb.jobs", len(jobs))
 
     solver = ConfigSolver(ladder)
     rates: list[float] = []
     counts: list[tuple[int, ...]] = []
     total = 0.0
-    for k, seg in enumerate(segments):
-        config = solver.solve(tuple(demand_matrix[:, k]))
-        rates.append(config.rate)
-        counts.append(config.counts)
-        total += config.rate * seg.length
+    ctx = profiler.timer("lb.config-solve") if profiler is not None else nullcontext()
+    with ctx:
+        for k, seg in zip(live, segments):
+            config = solver.solve(tuple(demand_matrix[:, k]))
+            rates.append(config.rate)
+            counts.append(config.counts)
+            total += config.rate * seg.length
     return LowerBoundResult(
         value=total,
         ladder=ladder,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from ..core.events import EventKind, event_stream
+from ..core.sweep import BusyIntervalCache
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey, Schedule
@@ -48,8 +49,20 @@ class OnlineScheduler(Protocol):
         ...
 
 
-def run_online(jobs: JobSet, scheduler: OnlineScheduler) -> Schedule:
-    """Replay the instance through the scheduler and collect the schedule."""
+def run_online(
+    jobs: JobSet,
+    scheduler: OnlineScheduler,
+    *,
+    busy_cache: BusyIntervalCache | None = None,
+) -> Schedule:
+    """Replay the instance through the scheduler and collect the schedule.
+
+    When a :class:`~repro.core.sweep.BusyIntervalCache` is supplied, every
+    placement is recorded into it as it happens, so callers can watch
+    per-machine busy time accumulate incrementally (the memoized unions are
+    invalidated machine-by-machine as placements land) instead of
+    re-deriving it from the finished schedule.
+    """
     assignment = {}
     for event in event_stream(jobs):
         if event.kind is EventKind.ARRIVE:
@@ -63,6 +76,8 @@ def run_online(jobs: JobSet, scheduler: OnlineScheduler) -> Schedule:
             if not isinstance(key, MachineKey):
                 raise TypeError("scheduler must return a MachineKey")
             assignment[event.job] = key
+            if busy_cache is not None:
+                busy_cache.add(key, event.job.arrival, event.job.departure)
         else:
             scheduler.on_departure(event.job.uid)
     return Schedule(scheduler.ladder, assignment)

@@ -70,13 +70,15 @@ def billed_cost(schedule: Schedule, model: BillingModel = FLUID) -> float:
     """Total invoice for a schedule under a billing model.
 
     Each machine's busy set is split into maximal busy periods; every period
-    is billed independently (release-and-reacquire semantics).
+    is billed independently (release-and-reacquire semantics).  Busy sets
+    come from the schedule's memoized event sweep, so re-pricing the same
+    schedule under many billing models (E20's sweep) never re-unions
+    intervals.
     """
     total = 0.0
-    groups = schedule.by_machine()
-    for key in groups:
+    for key in schedule.by_machine():
         rate = schedule.ladder.rate(key.type_index)
-        for period in schedule.busy_set(key, groups):
+        for period in schedule.busy_set(key):
             total += rate * model.billed_duration(period.length)
     return total
 

@@ -16,6 +16,11 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.intervals import IntervalSet
+from ..core.sweep import (
+    busy_union_reference,
+    sweep_busy_union,
+    sweep_grouped_busy_time,
+)
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
@@ -40,7 +45,7 @@ class MachineKey:
 class Schedule:
     """An immutable job → machine assignment over a ladder."""
 
-    __slots__ = ("ladder", "_assignment", "_jobs")
+    __slots__ = ("ladder", "_assignment", "_jobs", "_memo")
 
     def __init__(
         self,
@@ -54,6 +59,9 @@ class Schedule:
         object.__setattr__(self, "ladder", ladder)
         object.__setattr__(self, "_assignment", pairs)
         object.__setattr__(self, "_jobs", JobSet(pairs.keys()))
+        # memoized derived data; safe because the assignment is immutable —
+        # any "placement change" necessarily constructs a new Schedule
+        object.__setattr__(self, "_memo", {})
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Schedule is immutable")
@@ -80,34 +88,85 @@ class Schedule:
         return JobSet(j for j, k in self._assignment.items() if k == key)
 
     def by_machine(self) -> dict[MachineKey, list[Job]]:
-        """Group jobs by machine in one pass."""
-        groups: dict[MachineKey, list[Job]] = {}
-        for job, key in self._assignment.items():
-            groups.setdefault(key, []).append(job)
+        """Group jobs by machine in one pass (memoized)."""
+        groups = self._memo.get("by_machine")
+        if groups is None:
+            groups = {}
+            for job, key in self._assignment.items():
+                groups.setdefault(key, []).append(job)
+            self._memo["by_machine"] = groups
         return groups
 
     # -- cost ---------------------------------------------------------------
     def busy_set(self, key: MachineKey, groups: dict[MachineKey, list[Job]] | None = None) -> IntervalSet:
-        """The machine's busy periods: union of its jobs' active intervals."""
-        jobs = (groups or self.by_machine()).get(key, [])
-        return IntervalSet(j.interval for j in jobs)
+        """The machine's busy periods: union of its jobs' active intervals
+        (event sweep, memoized per machine)."""
+        memo = self._memo.setdefault("busy_set", {})
+        cached = memo.get(key)
+        if cached is None:
+            jobs = (groups or self.by_machine()).get(key, [])
+            if jobs:
+                cached = sweep_busy_union(
+                    [j.arrival for j in jobs], [j.departure for j in jobs]
+                )
+            else:
+                cached = IntervalSet()
+            memo[key] = cached
+        return cached
+
+    def busy_times(self) -> dict[MachineKey, float]:
+        """Every machine's busy time from ONE merged event sweep (memoized).
+
+        All machines' intervals go through a single
+        :func:`~repro.core.sweep.sweep_grouped_busy_time` call —
+        ``O(N log N)`` total instead of one sort per machine.
+        """
+        cached = self._memo.get("busy_times")
+        if cached is None:
+            groups = self.by_machine()
+            keys = list(groups)
+            starts: list[float] = []
+            ends: list[float] = []
+            gidx: list[int] = []
+            for gi, key in enumerate(keys):
+                for job in groups[key]:
+                    starts.append(job.arrival)
+                    ends.append(job.departure)
+                    gidx.append(gi)
+            busy = sweep_grouped_busy_time(starts, ends, gidx, len(keys))
+            cached = {key: float(b) for key, b in zip(keys, busy)}
+            self._memo["busy_times"] = cached
+        return cached
 
     def machine_cost(self, key: MachineKey, groups: dict[MachineKey, list[Job]] | None = None) -> float:
         """One machine's busy time times its rate."""
         rate = self.ladder.rate(key.type_index)
-        return rate * self.busy_set(key, groups).length
+        return rate * self.busy_times().get(key, 0.0)
 
     def cost(self) -> float:
         """Total accumulated busy cost — the BSHM objective."""
+        return sum(
+            self.ladder.rate(key.type_index) * busy
+            for key, busy in self.busy_times().items()
+        )
+
+    def cost_reference(self) -> float:
+        """The pre-sweep busy-cost accounting (naive per-machine interval
+        union), kept as the differential-test oracle for :meth:`cost`."""
         groups = self.by_machine()
-        return sum(self.machine_cost(key, groups) for key in groups)
+        total = 0.0
+        for key, jobs in groups.items():
+            union = busy_union_reference(
+                [j.arrival for j in jobs], [j.departure for j in jobs]
+            )
+            total += self.ladder.rate(key.type_index) * union.length
+        return total
 
     def cost_by_type(self) -> dict[int, float]:
         """Cost decomposition per machine type (for the analysis tables)."""
-        groups = self.by_machine()
         out: dict[int, float] = {i: 0.0 for i in range(1, self.ladder.m + 1)}
-        for key in groups:
-            out[key.type_index] += self.machine_cost(key, groups)
+        for key, busy in self.busy_times().items():
+            out[key.type_index] += self.ladder.rate(key.type_index) * busy
         return out
 
     def machine_count_by_type(self) -> dict[int, int]:

@@ -61,9 +61,13 @@ class TestElementarySegments:
     @given(jobset_strategy(max_jobs=12))
     def test_property_active_set_constant_on_segment(self, jobs: JobSet):
         for seg in elementary_segments(list(jobs)):
-            probes = [seg.left, (seg.left + seg.right) / 2]
+            mid = (seg.left + seg.right) / 2
+            # on a segment a few ulps wide the midpoint can round onto an
+            # endpoint, where the active set legitimately differs — only
+            # probe midpoints that are strictly interior
+            probes = [seg.left] + ([mid] if seg.left < mid < seg.right else [])
             active_sets = [
                 frozenset(j.uid for j in jobs if j.active_at(t)) for t in probes
             ]
-            assert active_sets[0] == active_sets[1]
+            assert all(s == active_sets[0] for s in active_sets)
             assert active_sets[0]  # non-empty by construction

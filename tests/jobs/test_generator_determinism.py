@@ -1,0 +1,77 @@
+"""Seed determinism of every job-generator family.
+
+The golden-cost regressions and the experiment harness rely on one property:
+feeding the same seed to a generator twice yields the *same* workload.  Jobs
+carry process-global uids, so equality is checked on the observable
+attributes ``(size, arrival, departure, name)`` — uid offsets may differ
+between runs but the generated content must not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    adversarial_staircase,
+    bounded_mu_workload,
+    bursty_workload,
+    day_night_workload,
+    flash_crowd_workload,
+    mmpp_workload,
+    poisson_workload,
+    sawtooth_workload,
+    uniform_workload,
+)
+from repro.experiments.harness import rng_for
+
+SEED = 20200518  # IPDPS 2020 :)
+
+RANDOM_FAMILIES = {
+    "uniform": lambda rng: uniform_workload(40, rng),
+    "poisson": lambda rng: poisson_workload(40, rng),
+    "bounded_mu": lambda rng: bounded_mu_workload(40, rng, mu=4.0),
+    "day_night": lambda rng: day_night_workload(40, rng),
+    "bursty": lambda rng: bursty_workload(40, rng),
+    "mmpp": lambda rng: mmpp_workload(40, rng),
+    "flash_crowd": lambda rng: flash_crowd_workload(40, rng),
+}
+
+
+def fingerprint(jobs):
+    """Order-stable observable content of a JobSet (uids excluded)."""
+    return [(j.size, j.arrival, j.departure, j.name) for j in jobs]
+
+
+@pytest.mark.parametrize("family", sorted(RANDOM_FAMILIES))
+def test_same_seed_same_jobs(family):
+    make = RANDOM_FAMILIES[family]
+    first = make(np.random.default_rng(SEED))
+    second = make(np.random.default_rng(SEED))
+    assert fingerprint(first) == fingerprint(second)
+
+
+@pytest.mark.parametrize("family", sorted(RANDOM_FAMILIES))
+def test_different_seed_different_jobs(family):
+    make = RANDOM_FAMILIES[family]
+    first = make(np.random.default_rng(SEED))
+    second = make(np.random.default_rng(SEED + 1))
+    assert fingerprint(first) != fingerprint(second)
+
+
+def test_deterministic_families_need_no_seed():
+    assert fingerprint(adversarial_staircase(6)) == fingerprint(
+        adversarial_staircase(6)
+    )
+    assert fingerprint(sawtooth_workload(4, 5)) == fingerprint(
+        sawtooth_workload(4, 5)
+    )
+
+
+def test_rng_for_is_reproducible():
+    # the harness seed-derivation behind every golden number
+    a = rng_for("E1", salt=203).uniform(size=8)
+    b = rng_for("E1", salt=203).uniform(size=8)
+    assert np.array_equal(a, b)
+    c = rng_for("E2", salt=203).uniform(size=8)
+    assert not np.array_equal(a, c)

@@ -1,0 +1,261 @@
+"""Differential tests: every sweep kernel against its naive ``*_reference``.
+
+The sweep kernels in :mod:`repro.core.sweep` are the fast path for all cost
+accounting; the ``*_reference`` twins are the retired naive implementations.
+These property tests pin the two together: **exact** equality on integer
+inputs (where float arithmetic is exact), 1e-9 tolerance on float inputs
+(where only summation order differs).  ~200 Hypothesis examples per kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Job,
+    MachineKey,
+    Schedule,
+    busy_time_reference,
+    busy_union_reference,
+    dec_ladder,
+    demand_profile_reference,
+    grouped_busy_time_reference,
+    nested_demand_reference,
+    peak_load_reference,
+    sum_pulses,
+    sum_pulses_reference,
+    sweep_busy_time,
+    sweep_busy_union,
+    sweep_demand_profile,
+    sweep_grouped_busy_time,
+    sweep_nested_demand,
+    sweep_peak_load,
+)
+from tests.conftest import jobset_strategy
+
+ORACLE = settings(max_examples=200, deadline=None)
+
+TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# strategies: weighted interval batches, integer and float flavours
+# ---------------------------------------------------------------------------
+
+@st.composite
+def int_intervals(draw, max_n: int = 25, max_weight: int = 9):
+    """(starts, ends, weights) with integer coordinates — float-exact."""
+    n = draw(st.integers(1, max_n))
+    starts = draw(st.lists(st.integers(0, 100), min_size=n, max_size=n))
+    durations = draw(st.lists(st.integers(1, 40), min_size=n, max_size=n))
+    weights = draw(st.lists(st.integers(1, max_weight), min_size=n, max_size=n))
+    ends = [a + d for a, d in zip(starts, durations)]
+    return starts, ends, weights
+
+
+@st.composite
+def float_intervals(draw, max_n: int = 25):
+    """(starts, ends, weights) with arbitrary float coordinates."""
+    n = draw(st.integers(1, max_n))
+    f = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+    d = st.floats(0.05, 40.0, allow_nan=False, allow_infinity=False)
+    w = st.floats(0.05, 8.0, allow_nan=False, allow_infinity=False)
+    starts = draw(st.lists(f, min_size=n, max_size=n))
+    durations = draw(st.lists(d, min_size=n, max_size=n))
+    weights = draw(st.lists(w, min_size=n, max_size=n))
+    ends = [a + dd for a, dd in zip(starts, durations)]
+    return starts, ends, weights
+
+
+def _profile_probes(*profiles):
+    """Probe times covering every breakpoint and every segment midpoint."""
+    breaks = np.unique(np.concatenate([p.breaks for p in profiles]))
+    mids = (breaks[:-1] + breaks[1:]) / 2.0
+    return np.concatenate([breaks, mids, breaks - 1e-3, breaks + 1e-3])
+
+
+# ---------------------------------------------------------------------------
+# demand profiles
+# ---------------------------------------------------------------------------
+
+class TestDemandProfileOracle:
+    @ORACLE
+    @given(int_intervals())
+    def test_exact_on_integers(self, batch):
+        starts, ends, weights = batch
+        pulses = list(zip(starts, ends, weights))
+        assert sweep_demand_profile(pulses) == demand_profile_reference(pulses)
+
+    @ORACLE
+    @given(float_intervals())
+    def test_pointwise_on_floats(self, batch):
+        starts, ends, weights = batch
+        pulses = list(zip(starts, ends, weights))
+        fast = sweep_demand_profile(pulses)
+        ref = demand_profile_reference(pulses)
+        for t in _profile_probes(fast, ref):
+            assert fast(float(t)) == pytest.approx(ref(float(t)), abs=TOL, rel=TOL)
+        assert fast.integral() == pytest.approx(ref.integral(), rel=TOL, abs=TOL)
+
+    @ORACLE
+    @given(int_intervals())
+    def test_sum_pulses_dispatches_to_sweep(self, batch):
+        starts, ends, weights = batch
+        pulses = list(zip(starts, ends, weights))
+        assert sum_pulses(pulses) == sum_pulses_reference(pulses)
+
+
+# ---------------------------------------------------------------------------
+# busy-interval unions
+# ---------------------------------------------------------------------------
+
+class TestBusyUnionOracle:
+    @ORACLE
+    @given(int_intervals())
+    def test_union_exact_on_integers(self, batch):
+        starts, ends, _ = batch
+        assert sweep_busy_union(starts, ends) == busy_union_reference(starts, ends)
+
+    @ORACLE
+    @given(float_intervals())
+    def test_union_exact_on_floats(self, batch):
+        # endpoints pass through both paths unchanged, so even the float
+        # case is structurally exact — only derived *measures* can drift
+        starts, ends, _ = batch
+        assert sweep_busy_union(starts, ends) == busy_union_reference(starts, ends)
+
+    @ORACLE
+    @given(int_intervals())
+    def test_busy_time_exact_on_integers(self, batch):
+        starts, ends, _ = batch
+        assert sweep_busy_time(starts, ends) == busy_time_reference(starts, ends)
+
+    @ORACLE
+    @given(float_intervals())
+    def test_busy_time_on_floats(self, batch):
+        starts, ends, _ = batch
+        assert sweep_busy_time(starts, ends) == pytest.approx(
+            busy_time_reference(starts, ends), rel=TOL, abs=TOL
+        )
+
+
+# ---------------------------------------------------------------------------
+# capacity checks
+# ---------------------------------------------------------------------------
+
+class TestPeakLoadOracle:
+    @ORACLE
+    @given(int_intervals())
+    def test_exact_on_integers(self, batch):
+        starts, ends, sizes = batch
+        assert sweep_peak_load(starts, ends, sizes) == peak_load_reference(
+            starts, ends, sizes
+        )
+
+    @ORACLE
+    @given(float_intervals())
+    def test_tolerance_on_floats(self, batch):
+        starts, ends, sizes = batch
+        assert sweep_peak_load(starts, ends, sizes) == pytest.approx(
+            peak_load_reference(starts, ends, sizes), rel=TOL, abs=TOL
+        )
+
+
+# ---------------------------------------------------------------------------
+# grouped busy time (the busy-cost integrator)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def grouped_batch(draw, intervals, max_groups: int = 5):
+    starts, ends, _ = draw(intervals)
+    n_groups = draw(st.integers(1, max_groups))
+    groups = draw(
+        st.lists(
+            st.integers(0, n_groups - 1), min_size=len(starts), max_size=len(starts)
+        )
+    )
+    return starts, ends, groups, n_groups
+
+
+class TestGroupedBusyTimeOracle:
+    @ORACLE
+    @given(grouped_batch(int_intervals()))
+    def test_exact_on_integers(self, batch):
+        starts, ends, groups, n_groups = batch
+        fast = sweep_grouped_busy_time(starts, ends, groups, n_groups)
+        ref = grouped_busy_time_reference(starts, ends, groups, n_groups)
+        assert np.array_equal(fast, ref)
+
+    @ORACLE
+    @given(grouped_batch(float_intervals()))
+    def test_tolerance_on_floats(self, batch):
+        starts, ends, groups, n_groups = batch
+        fast = sweep_grouped_busy_time(starts, ends, groups, n_groups)
+        ref = grouped_busy_time_reference(starts, ends, groups, n_groups)
+        np.testing.assert_allclose(fast, ref, rtol=TOL, atol=TOL)
+
+
+# ---------------------------------------------------------------------------
+# nested demands (lower bound)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def capacities_strategy(draw, top: float = 8.0):
+    """Strictly increasing capacities whose largest covers every job size."""
+    lower = draw(
+        st.lists(
+            st.floats(0.1, top - 0.1, allow_nan=False, allow_infinity=False),
+            max_size=4,
+            unique=True,
+        )
+    )
+    return sorted(lower) + [top]
+
+
+class TestNestedDemandOracle:
+    @ORACLE
+    @given(jobset_strategy(max_jobs=20), capacities_strategy())
+    def test_against_reference(self, jobs, capacities):
+        t_fast, a_fast, d_fast = sweep_nested_demand(list(jobs), capacities)
+        t_ref, a_ref, d_ref = nested_demand_reference(list(jobs), capacities)
+        np.testing.assert_array_equal(t_fast, t_ref)
+        np.testing.assert_array_equal(a_fast, a_ref)  # exact integer counts
+        np.testing.assert_allclose(d_fast, d_ref, rtol=TOL, atol=TOL)
+
+    @ORACLE
+    @given(int_intervals(max_n=15))
+    def test_exact_on_integer_jobs(self, batch):
+        starts, ends, sizes = batch
+        jobs = [
+            Job(size=float(s), arrival=float(a), departure=float(b))
+            for a, b, s in zip(starts, ends, sizes)
+        ]
+        caps = [2.0, 5.0, 9.0]
+        t_fast, a_fast, d_fast = sweep_nested_demand(jobs, caps)
+        t_ref, a_ref, d_ref = nested_demand_reference(jobs, caps)
+        np.testing.assert_array_equal(t_fast, t_ref)
+        np.testing.assert_array_equal(a_fast, a_ref)
+        np.testing.assert_array_equal(d_fast, d_ref)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: schedule busy cost
+# ---------------------------------------------------------------------------
+
+class TestScheduleCostOracle:
+    @ORACLE
+    @given(
+        jobset_strategy(max_jobs=20),
+        st.lists(st.integers(0, 3), min_size=20, max_size=20),
+    )
+    def test_cost_matches_reference(self, jobs, tags):
+        # every job fits the top type of dec_ladder(3) (capacity 9 >= 8)
+        ladder = dec_ladder(3)
+        sched = Schedule(
+            ladder,
+            {job: MachineKey(3, ("m", tag)) for job, tag in zip(jobs, tags)},
+        )
+        assert sched.cost() == pytest.approx(sched.cost_reference(), rel=TOL, abs=TOL)

@@ -92,3 +92,51 @@ class TestValidate:
         text = report.summary()
         assert "unscheduled" in text
         assert "overloaded" in text
+
+
+class TestHandoffBoundary:
+    """Half-open boundary semantics: a job departing at ``t`` and a job
+    arriving at the same ``t`` share the machine sequentially — the capacity
+    check must never count them as concurrent (regression tests for the
+    double-count bug the sweep refactor fixed)."""
+
+    def test_full_capacity_chain_at_exact_times(self, dec3):
+        # three capacity-filling jobs chained back to back on one machine
+        chain = [Job(1.0, float(k), float(k + 1), name=f"c{k}") for k in range(3)]
+        inst = JobSet(chain)
+        key = MachineKey(1, ("m", 0))
+        report = validate_schedule(Schedule(dec3, {j: key for j in chain}), inst)
+        assert report.ok, report.summary()
+
+    def test_float_noise_handoff_is_not_overload(self, dec3):
+        # 0.1 + 0.2 lands one ulp above 0.3: the departure/arrival pair is
+        # mathematically simultaneous but spans a 4e-17 phantom sliver where
+        # both loads would double-count without the time tolerance
+        a = Job(0.9, 0.0, 0.1 + 0.2, name="a")
+        b = Job(0.9, 0.3, 1.0, name="b")
+        assert a.departure > b.arrival  # the sliver is real in float
+        inst = JobSet([a, b])
+        key = MachineKey(1, ("m", 0))
+        report = validate_schedule(Schedule(dec3, {a: key, b: key}), inst)
+        assert report.ok, report.summary()
+
+    def test_real_overlap_still_reported(self, dec3):
+        # an overlap wider than the tolerance must still fail
+        a = Job(0.9, 0.0, 0.31, name="a")
+        b = Job(0.9, 0.3, 1.0, name="b")
+        inst = JobSet([a, b])
+        key = MachineKey(1, ("m", 0))
+        report = validate_schedule(Schedule(dec3, {a: key, b: key}), inst)
+        assert not report.ok
+        assert report.overloaded
+
+    def test_arrival_exactly_at_departure_many_jobs(self, dec3):
+        # k jobs handing off at the same instant across two machines stays
+        # feasible even when every job individually fills its machine
+        jobs = [Job(1.0, 0.0, 2.0, name="x"), Job(1.0, 2.0, 4.0, name="y"),
+                Job(1.0, 2.0, 3.0, name="z")]
+        inst = JobSet(jobs)
+        k0, k1 = MachineKey(1, ("m", 0)), MachineKey(1, ("m", 1))
+        sched = Schedule(dec3, {jobs[0]: k0, jobs[1]: k0, jobs[2]: k1})
+        report = validate_schedule(sched, inst)
+        assert report.ok, report.summary()

@@ -1,0 +1,166 @@
+"""Streaming-service latency benchmark: the overhead guardrail.
+
+Two entry points:
+
+- ``python benchmarks/bench_service.py`` — drives a 10k-job workload
+  through :class:`SchedulerRuntime` event by event, records per-event
+  decision latency (p50/p99) and checkpoint/snapshot/restore times, writes
+  the results to ``BENCH_service.json`` at the repo root and **fails**
+  (exit 1) if p99 decision latency exceeds :data:`MAX_P99_MS`.
+- ``pytest benchmarks/bench_service.py`` — a quicker smoke (2k jobs)
+  asserting the streamed run stays exactly cost-equal to batch
+  :func:`run_online`, plus pytest-benchmark measurements of the submit
+  path and checkpoint round-trip.
+
+Correctness equivalence is pinned exhaustively by
+``tests/service/test_differential.py`` — this file only guards speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import dec_ladder, run_online, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import restore, snapshot
+from repro.service.runtime import SchedulerRuntime, make_scheduler
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+N_JOBS = 10_000
+SEED = 2020
+MAX_P99_MS = 5.0
+
+
+def make_instance(n: int = N_JOBS, seed: int = SEED):
+    ladder = dec_ladder(3)
+    rng = np.random.default_rng(seed)
+    jobs = uniform_workload(n, rng, max_size=ladder.capacity(3))
+    return ladder, jobs
+
+
+def drive(runtime: SchedulerRuntime, jobs) -> None:
+    for ev in event_stream(jobs):
+        if ev.kind is EventKind.ARRIVE:
+            runtime.submit(ev.job.size, ev.job.arrival, name=ev.job.name, uid=ev.job.uid)
+        else:
+            runtime.depart(ev.job.uid, ev.job.departure)
+
+
+def run_suite(n: int = N_JOBS) -> dict:
+    """Stream ``n`` jobs through the runtime and measure every stage."""
+    ladder, jobs = make_instance(n)
+    runtime = SchedulerRuntime.create("dec", ladder, admission=["fits-ladder"])
+
+    t0 = time.perf_counter()
+    drive(runtime, jobs)
+    stream_s = time.perf_counter() - t0
+
+    hist = runtime.metrics.histogram("decision_latency_ms")
+
+    t0 = time.perf_counter()
+    snap = snapshot(runtime)
+    snapshot_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restore(snap)
+    restore_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cost = runtime.cost()
+    cost_s = time.perf_counter() - t0
+
+    return {
+        "n_jobs": n,
+        "events": runtime.n_events,
+        "stream_total_ms": round(stream_s * 1e3, 3),
+        "events_per_s": round(runtime.n_events / stream_s),
+        "decision_latency_ms": {
+            "count": hist.count,
+            "mean": round(hist.mean, 6),
+            "p50": round(hist.percentile(50), 6),
+            "p99": round(hist.percentile(99), 6),
+            "max": round(hist.max, 6),
+        },
+        "snapshot_ms": round(snapshot_s * 1e3, 3),
+        "restore_ms": round(restore_s * 1e3, 3),
+        "running_cost_ms": round(cost_s * 1e3, 3),
+        "final_cost": cost,
+    }
+
+
+def main() -> int:
+    row = run_suite()
+    payload = {
+        "workload": {"n_jobs": N_JOBS, "ladder": "dec(3)", "seed": SEED},
+        "max_p99_decision_ms": MAX_P99_MS,
+        "service": row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    lat = row["decision_latency_ms"]
+    print(f"streamed {row['events']} events in {row['stream_total_ms']:.1f}ms "
+          f"({row['events_per_s']} events/s)")
+    print(f"decision latency: p50 {lat['p50']:.4f}ms  p99 {lat['p99']:.4f}ms  "
+          f"max {lat['max']:.4f}ms")
+    print(f"snapshot {row['snapshot_ms']:.1f}ms, restore {row['restore_ms']:.1f}ms, "
+          f"running cost {row['running_cost_ms']:.1f}ms at {N_JOBS} jobs")
+    if lat["p99"] > MAX_P99_MS:
+        print(f"FAIL: p99 decision latency above the {MAX_P99_MS}ms ceiling")
+        return 1
+    print(f"OK: p99 under {MAX_P99_MS}ms; written to {OUTPUT.name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI smoke + microbenchmarks)
+# ---------------------------------------------------------------------------
+
+def test_streaming_matches_batch_at_2k():
+    """CI smoke: a 2k-job streamed run stays exactly cost-equal to batch."""
+    ladder, jobs = make_instance(2_000)
+    runtime = SchedulerRuntime.create("dec", ladder)
+    drive(runtime, jobs)
+    batch = run_online(jobs, make_scheduler("dec", ladder))
+    assert runtime.schedule().cost() == batch.cost()
+
+
+def test_committed_bench_meets_latency_ceiling():
+    """The committed BENCH_service.json records the acceptance run."""
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["workload"]["n_jobs"] == N_JOBS
+    assert payload["service"]["decision_latency_ms"]["p99"] <= payload["max_p99_decision_ms"]
+    assert payload["service"]["events"] == 2 * N_JOBS
+
+
+def test_bench_submit_depart_2k(benchmark):
+    ladder, jobs = make_instance(2_000)
+
+    def run():
+        runtime = SchedulerRuntime.create("dec", ladder)
+        drive(runtime, jobs)
+        return runtime
+
+    runtime = benchmark(run)
+    assert runtime.n_events == 4_000
+
+
+def test_bench_snapshot_restore_2k(benchmark):
+    ladder, jobs = make_instance(2_000)
+    runtime = SchedulerRuntime.create("dec", ladder)
+    drive(runtime, jobs)
+
+    def roundtrip():
+        return restore(snapshot(runtime))
+
+    restored = benchmark(roundtrip)
+    assert restored.cost() == runtime.cost()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,18 @@ from .exact.lp_relax import lp_relaxation_bound
 from .analysis.crossover import CrossoverResult, find_crossover
 from .online.journal import Journal, JournalingScheduler, render_journal
 from .jobs.lint import lint_instance
+from .service.runtime import Admission, SchedulerRuntime, make_scheduler
+from .service.metrics import MetricsRegistry
+from .service.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    record_trace,
+    replay_trace,
+    restore,
+    snapshot,
+    write_checkpoint,
+    write_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -255,5 +267,17 @@ __all__ = [
     "JournalingScheduler",
     "render_journal",
     "lint_instance",
+    "Admission",
+    "SchedulerRuntime",
+    "make_scheduler",
+    "MetricsRegistry",
+    "CheckpointError",
+    "load_checkpoint",
+    "record_trace",
+    "replay_trace",
+    "restore",
+    "snapshot",
+    "write_checkpoint",
+    "write_trace",
     "__version__",
 ]

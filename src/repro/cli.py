@@ -13,14 +13,59 @@ Subcommands::
                                   # synthesize a workload (and/or a ladder)
     bshm recommend trace.csv --ladder ladder.csv [--max-types 3]
                                   # which catalogue subset should be enabled?
+    bshm serve --ladder-kind dec --m 3 --port 8642
+                                  # streaming scheduler service (JSON lines
+                                  # over TCP: submit/depart/stats/checkpoint)
+    bshm replay trace.jsonl [--verify] [--checkpoint ckpt.json]
+                                  # re-execute a recorded service trace
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from .experiments import ALL_EXPERIMENTS, run_experiment
+
+
+def _input_error(path: str, what: str) -> str | None:
+    """Why ``path`` cannot be read as ``what`` (None when it can)."""
+    p = Path(path)
+    if not p.exists():
+        return f"{what} {path!r} does not exist"
+    if p.is_dir():
+        return f"{what} {path!r} is a directory, expected a file"
+    if not os.access(p, os.R_OK):
+        return f"{what} {path!r} is not readable"
+    return None
+
+
+def _output_error(path: str, what: str) -> str | None:
+    """Why ``path`` cannot be written as ``what`` (None when it can)."""
+    p = Path(path)
+    if p.is_dir():
+        return f"{what} {path!r} is a directory, expected a file path"
+    parent = p.parent if str(p.parent) else Path(".")
+    if not parent.exists():
+        return f"directory {str(parent)!r} for {what} does not exist"
+    if not parent.is_dir():
+        return f"{str(parent)!r} (for {what}) is not a directory"
+    if not os.access(parent, os.W_OK):
+        return f"directory {str(parent)!r} for {what} is not writable"
+    if p.exists() and not os.access(p, os.W_OK):
+        return f"{what} {path!r} exists and is not writable"
+    return None
+
+
+def _fail(*problems: str | None) -> int | None:
+    """Print the first real problem to stderr and return exit code 2."""
+    for problem in problems:
+        if problem:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+    return None
 
 
 def _cmd_list() -> int:
@@ -102,6 +147,14 @@ def _cmd_schedule(
     from .online.inc_online import IncOnlineScheduler
     from .schedule.validate import assert_feasible
 
+    failed = _fail(
+        _input_error(trace, "job trace"),
+        _input_error(ladder_path, "ladder CSV"),
+        _output_error(output, "assignment output") if output else None,
+        _output_error(report, "report output") if report else None,
+    )
+    if failed:
+        return failed
     jobs = read_jobs_csv(trace)
     ladder = read_ladder_csv(ladder_path)
     from .jobs.lint import lint_instance
@@ -161,6 +214,12 @@ def _cmd_generate(
     from .jobs.io import write_jobs_csv, write_ladder_csv
     from .machines import catalog
 
+    failed = _fail(
+        _output_error(out, "job trace output"),
+        _output_error(ladder_out, "ladder output") if ladder_out else None,
+    )
+    if failed:
+        return failed
     ladder = None
     if ladder_kind:
         makers = {
@@ -199,6 +258,12 @@ def _cmd_recommend(trace: str, ladder_path: str, max_types: int | None, estimate
     from .jobs.io import read_jobs_csv, read_ladder_csv
     from .machines.recommend import recommend_subset
 
+    failed = _fail(
+        _input_error(trace, "job trace"),
+        _input_error(ladder_path, "catalogue CSV"),
+    )
+    if failed:
+        return failed
     jobs = read_jobs_csv(trace)
     catalogue = read_ladder_csv(ladder_path)
     rec = recommend_subset(jobs, catalogue, estimate=estimate, max_types=max_types)
@@ -208,6 +273,135 @@ def _cmd_recommend(trace: str, ladder_path: str, max_types: int | None, estimate
     for combo, cost in rec.ranking[:5]:
         caps = [f"{catalogue.capacity(i):g}" for i in combo]
         print(f"  types {list(combo)} (capacities {', '.join(caps)}): {cost:.4f}")
+    return 0
+
+
+def _cmd_serve(
+    host: str,
+    port: int,
+    scheduler: str,
+    ladder_path: str | None,
+    ladder_kind: str,
+    m: int,
+    max_active: int | None,
+    trace_out: str | None,
+) -> int:
+    import asyncio
+
+    from .jobs.io import read_ladder_csv
+    from .machines import catalog
+    from .machines.ladder import Regime
+    from .service.runtime import SCHEDULER_REGISTRY, SchedulerRuntime
+    from .service.server import serve_forever
+
+    failed = _fail(
+        _input_error(ladder_path, "ladder CSV") if ladder_path else None,
+        _output_error(trace_out, "trace output") if trace_out else None,
+    )
+    if failed:
+        return failed
+    if ladder_path:
+        ladder = read_ladder_csv(ladder_path)
+    else:
+        makers = {
+            "dec": lambda: catalog.dec_ladder(m),
+            "inc": lambda: catalog.inc_ladder(m),
+            "ec2": lambda: catalog.ec2_like_ladder(m),
+            "fig2": catalog.paper_fig2_ladder,
+        }
+        if ladder_kind not in makers:
+            print(f"unknown ladder kind {ladder_kind!r}; choose from {sorted(makers)}")
+            return 2
+        ladder = makers[ladder_kind]()
+    if scheduler == "auto":
+        scheduler = {
+            Regime.DEC: "dec",
+            Regime.INC: "inc",
+            Regime.GENERAL: "general",
+        }[ladder.regime]
+    if scheduler not in SCHEDULER_REGISTRY:
+        print(
+            f"unknown scheduler {scheduler!r}; choose from {sorted(SCHEDULER_REGISTRY)}"
+        )
+        return 2
+    admission: list = ["fits-ladder"]
+    if max_active is not None:
+        admission.append(("max-active", max_active))
+    runtime = SchedulerRuntime.create(scheduler, ladder, admission=admission)
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        print(
+            f"bshm serve: {scheduler} scheduler on {ladder.regime.value} "
+            f"ladder (m={ladder.m}), listening on {bound_host}:{bound_port}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_forever(runtime, host, port, on_ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted", flush=True)
+    if trace_out:
+        from .service.checkpoint import write_trace
+
+        write_trace(runtime, trace_out)
+        print(f"trace ({runtime.n_events} events) written to {trace_out}")
+    print(
+        f"served {runtime.n_events} events; final cost {runtime.cost():.4f}, "
+        f"{runtime.n_active} jobs still active"
+    )
+    return 0
+
+
+def _cmd_replay(
+    trace: str, checkpoint_out: str | None, verify: bool
+) -> int:
+    from .online.engine import run_online
+    from .service.checkpoint import (
+        CheckpointError,
+        replay_trace,
+        write_checkpoint,
+    )
+    from .service.runtime import make_scheduler
+
+    failed = _fail(
+        _input_error(trace, "trace"),
+        _output_error(checkpoint_out, "checkpoint output") if checkpoint_out else None,
+    )
+    if failed:
+        return failed
+    try:
+        runtime = replay_trace(trace)
+    except CheckpointError as exc:
+        return _fail(f"cannot replay {trace!r}: {exc}")
+    schedule = runtime.schedule()
+    print(
+        f"replayed {runtime.n_events} events: clock {runtime.clock:g}, "
+        f"{len(schedule)} jobs on {len(schedule.machines())} machines, "
+        f"{runtime.n_active} still active"
+    )
+    print(f"streaming cost: {runtime.cost():.6f}")
+    if checkpoint_out:
+        write_checkpoint(runtime, checkpoint_out)
+        print(f"checkpoint written to {checkpoint_out}")
+    if verify:
+        if runtime.n_active > 0:
+            print("verify skipped: open jobs remain (batch replay needs departures)")
+        elif runtime.metrics.counter("rejections").value > 0:
+            print("verify skipped: trace contains rejected jobs")
+        else:
+            batch = run_online(
+                schedule.jobs,
+                make_scheduler(runtime.config["scheduler"], runtime.ladder),
+            )
+            # compare Schedule.cost() on both sides: same sweep kernel, so
+            # the streamed run must match the batch replay bit-for-bit
+            if batch.cost() != schedule.cost():
+                print(
+                    f"VERIFY FAILED: batch cost {batch.cost()!r} != "
+                    f"streaming cost {schedule.cost()!r}"
+                )
+                return 1
+            print(f"verify: batch run_online cost matches exactly ({batch.cost():.6f})")
     return 0
 
 
@@ -248,6 +442,27 @@ def main(argv: list[str] | None = None) -> int:
     rec_p.add_argument("--ladder", required=True, help="catalogue CSV")
     rec_p.add_argument("--max-types", type=int, default=None)
     rec_p.add_argument("--estimate", choices=("lower_bound", "schedule"), default="lower_bound")
+    serve_p = sub.add_parser("serve", help="streaming scheduler service (JSON lines over TCP)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642, help="0 picks an ephemeral port")
+    serve_p.add_argument(
+        "--scheduler",
+        default="auto",
+        help="auto | dec | inc | general | first-fit",
+    )
+    serve_p.add_argument("--ladder", dest="ladder_path", help="ladder CSV (capacity,rate)")
+    serve_p.add_argument("--ladder-kind", default="dec", help="dec | inc | ec2 | fig2 (when no --ladder)")
+    serve_p.add_argument("--m", type=int, default=3, help="ladder size for --ladder-kind")
+    serve_p.add_argument("--max-active", type=int, default=None, help="admission cap on concurrently active jobs")
+    serve_p.add_argument("--trace-out", help="record the session trace here on shutdown")
+    replay_p = sub.add_parser("replay", help="re-execute a recorded service trace")
+    replay_p.add_argument("trace", help="trace JSONL recorded by the service")
+    replay_p.add_argument("--checkpoint", dest="checkpoint_out", help="write a checkpoint JSON here")
+    replay_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert the streaming cost equals a batch run_online of the same jobs",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -269,6 +484,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "recommend":
         return _cmd_recommend(args.trace, args.ladder, args.max_types, args.estimate)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.scheduler, args.ladder_path,
+            args.ladder_kind, args.m, args.max_active, args.trace_out,
+        )
+    if args.command == "replay":
+        return _cmd_replay(args.trace, args.checkpoint_out, args.verify)
     return 2
 
 

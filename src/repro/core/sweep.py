@@ -377,37 +377,51 @@ def nested_demand_reference(
 class BusyIntervalCache:
     """Per-machine busy intervals with memoized unions.
 
-    Incremental contexts (the online engine, windowed re-planning) add and
-    remove intervals as placements change; the union/measure of a machine is
-    computed lazily by :func:`sweep_busy_union` and cached until the next
-    change to that machine invalidates it.  Machines are independent, so an
-    update to one never discards another's memo.
+    Incremental contexts (the online engine, windowed re-planning, the
+    streaming service runtime) add and remove intervals as placements
+    change; the union/measure of a machine is computed lazily by
+    :func:`sweep_busy_union` and cached until the next change to that
+    machine invalidates it.  Machines are independent, so an update to one
+    never discards another's memo.
+
+    ``on_change`` is an invalidation hook: whenever a machine's memo is
+    dropped (add / remove / explicit invalidate) the callback is invoked
+    with that machine's key (or ``None`` for a full invalidation), letting
+    observers — e.g. the service metrics sampler — track exactly which
+    unions went stale without polling every machine.
     """
 
-    __slots__ = ("_raw", "_memo")
+    __slots__ = ("_raw", "_memo", "on_change")
 
-    def __init__(self) -> None:
+    def __init__(self, on_change=None) -> None:
         self._raw: dict[object, list[tuple[float, float]]] = {}
         self._memo: dict[object, IntervalSet] = {}
+        #: optional callback ``(key | None) -> None`` fired on invalidation
+        self.on_change = on_change
+
+    def _invalidated(self, key: object | None) -> None:
+        if key is None:
+            self._memo.clear()
+        else:
+            self._memo.pop(key, None)
+        if self.on_change is not None:
+            self.on_change(key)
 
     def add(self, key: object, left: float, right: float) -> None:
         """Record a placed job's active interval on a machine."""
         if not right > left:
             raise ValueError("empty interval")
         self._raw.setdefault(key, []).append((float(left), float(right)))
-        self._memo.pop(key, None)
+        self._invalidated(key)
 
     def remove(self, key: object, left: float, right: float) -> None:
         """Withdraw a previously added interval (placement change)."""
         self._raw[key].remove((float(left), float(right)))
-        self._memo.pop(key, None)
+        self._invalidated(key)
 
     def invalidate(self, key: object | None = None) -> None:
         """Drop memoized unions for one machine (or all of them)."""
-        if key is None:
-            self._memo.clear()
-        else:
-            self._memo.pop(key, None)
+        self._invalidated(key)
 
     def machines(self) -> list[object]:
         """Keys of every machine that ever received an interval."""
@@ -427,6 +441,22 @@ class BusyIntervalCache:
     def busy_time(self, key: object) -> float:
         """Measure of the machine's busy union."""
         return self.busy_set(key).length
+
+    def busy_time_with(
+        self, key: object, extras: Iterable[tuple[float, float]]
+    ) -> float:
+        """Busy time of ``key`` with hypothetical extra intervals included.
+
+        The streaming runtime uses this to cost machines whose jobs are
+        still running: each open job contributes ``[arrival, now)`` on top
+        of the recorded (closed) intervals.  Nothing is mutated and the
+        memo is neither consulted for the combined union nor invalidated.
+        """
+        pairs = list(self._raw.get(key, []))
+        pairs.extend((float(a), float(b)) for a, b in extras)
+        if not pairs:
+            return 0.0
+        return sweep_busy_time(*zip(*pairs))
 
     def total_busy_time(self) -> float:
         """Sum of busy times over all machines."""

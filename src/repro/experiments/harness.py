@@ -47,12 +47,21 @@ class ExperimentResult:
 
 def online_algorithm(
     scheduler_factory: Callable[[Ladder], object],
+    *,
+    metrics=None,
 ) -> Callable[[JobSet, Ladder], Schedule]:
     """Wrap an online scheduler class/factory as a (jobs, ladder) -> Schedule
-    function so online and offline algorithms share the evaluation path."""
+    function so online and offline algorithms share the evaluation path.
+
+    The replay goes through the streaming
+    :class:`~repro.service.runtime.SchedulerRuntime` (via ``run_online``), so
+    experiment runs exercise exactly the code path ``bshm serve`` uses in
+    production; pass a :class:`~repro.service.metrics.MetricsRegistry` to
+    collect per-decision latency and occupancy gauges alongside the result.
+    """
 
     def fn(jobs: JobSet, ladder: Ladder) -> Schedule:
-        return run_online(jobs, scheduler_factory(ladder))
+        return run_online(jobs, scheduler_factory(ladder), metrics=metrics)
 
     return fn
 

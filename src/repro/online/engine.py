@@ -7,6 +7,13 @@ arrival time, uid — never the departure time.  Departures are delivered as
 they happen, after which the capacity they held is reusable (half-open
 interval semantics: a departure at ``t`` precedes an arrival at ``t``).
 
+:func:`run_online` is a thin *batch adapter* over the streaming
+:class:`~repro.service.runtime.SchedulerRuntime`: it unrolls the clairvoyant
+:class:`~repro.jobs.jobset.JobSet` into the canonical event order and feeds
+the runtime one call at a time, so the batch engine, the experiments and
+the live ``bshm serve`` service all execute the same code path (their cost
+equality is pinned by ``tests/service/test_differential.py``).
+
 The result is an ordinary :class:`~repro.schedule.schedule.Schedule`, so
 online and offline algorithms are costed and validated identically.
 """
@@ -54,30 +61,38 @@ def run_online(
     scheduler: OnlineScheduler,
     *,
     busy_cache: BusyIntervalCache | None = None,
+    metrics=None,
 ) -> Schedule:
     """Replay the instance through the scheduler and collect the schedule.
 
+    A batch adapter: the clairvoyant job set is unrolled into the canonical
+    event order (departure before arrival at equal times) and streamed
+    through a :class:`~repro.service.runtime.SchedulerRuntime` call by call,
+    with each job's departure revealed only when it happens.
+
     When a :class:`~repro.core.sweep.BusyIntervalCache` is supplied, every
-    placement is recorded into it as it happens, so callers can watch
-    per-machine busy time accumulate incrementally (the memoized unions are
-    invalidated machine-by-machine as placements land) instead of
-    re-deriving it from the finished schedule.
+    placement is recorded into it as it happens — with its full (clairvoyant)
+    interval, since the batch driver knows departures upfront — so callers
+    can watch per-machine busy time accumulate incrementally.  ``metrics``
+    optionally names a :class:`~repro.service.metrics.MetricsRegistry` the
+    runtime samples during the replay (arrivals, active jobs, per-decision
+    latency).
     """
-    assignment = {}
+    from ..service.runtime import SchedulerRuntime  # deferred: avoids a cycle
+
+    runtime = SchedulerRuntime(scheduler, metrics=metrics)
     for event in event_stream(jobs):
         if event.kind is EventKind.ARRIVE:
-            view = JobView(
-                uid=event.job.uid,
-                size=event.job.size,
-                arrival=event.job.arrival,
+            admission = runtime.submit(
+                event.job.size,
+                event.job.arrival,
                 name=event.job.name,
+                uid=event.job.uid,
             )
-            key = scheduler.on_arrival(view)
-            if not isinstance(key, MachineKey):
-                raise TypeError("scheduler must return a MachineKey")
-            assignment[event.job] = key
             if busy_cache is not None:
-                busy_cache.add(key, event.job.arrival, event.job.departure)
+                busy_cache.add(
+                    admission.machine, event.job.arrival, event.job.departure
+                )
         else:
-            scheduler.on_departure(event.job.uid)
-    return Schedule(scheduler.ladder, assignment)
+            runtime.depart(event.job.uid, event.job.departure)
+    return runtime.schedule()

@@ -31,7 +31,13 @@ class Decision:
 @dataclass(slots=True)
 class Journal:
     decisions: list[Decision] = field(default_factory=list)
-    departures: list[tuple[float, int]] = field(default_factory=list)  # (#active after, uid)
+    #: one entry per departure, in delivery order, appended as
+    #: ``(active_after, uid)`` — the number of jobs still active *after* the
+    #: departed job (identified by ``uid``) released its capacity.  Note the
+    #: count comes first; there is no timestamp (non-clairvoyant schedulers
+    #: are not told departure times ahead, and the journal records exactly
+    #: what the scheduler observed).
+    departures: list[tuple[int, int]] = field(default_factory=list)
 
     def machines_used(self) -> list[MachineKey]:
         """Every machine that received at least one job."""

@@ -1,0 +1,70 @@
+"""repro.service — the streaming scheduler runtime.
+
+Everything outside this package speaks the batch language of
+:class:`~repro.jobs.jobset.JobSet`; this package speaks the *service*
+language of one event at a time:
+
+- :mod:`~repro.service.runtime` — :class:`SchedulerRuntime`, the
+  incremental online engine (``submit`` / ``depart`` / ``advance``) with
+  admission control and a running busy-cost accumulator,
+- :mod:`~repro.service.checkpoint` — versioned JSON snapshots and the
+  newline-delimited trace format with byte-identical record/replay,
+- :mod:`~repro.service.metrics` — counters, gauges and histograms sampled
+  by the runtime,
+- :mod:`~repro.service.server` — the asyncio JSON-lines server behind
+  ``bshm serve``.
+
+The batch :func:`~repro.online.engine.run_online` is a thin adapter over
+:class:`SchedulerRuntime`, so online algorithms, experiments and the live
+service all share one code path.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import (
+    SCHEDULER_REGISTRY,
+    Admission,
+    AdmissionError,
+    SchedulerRuntime,
+    make_scheduler,
+    max_active_policy,
+    size_fits_policy,
+)
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_trace,
+    record_trace,
+    replay_trace,
+    restore,
+    snapshot,
+    write_checkpoint,
+    write_trace,
+    TRACE_VERSION,
+)
+from .server import SchedulerServer, serve_forever
+
+__all__ = [
+    "Admission",
+    "AdmissionError",
+    "CheckpointError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEDULER_REGISTRY",
+    "SchedulerRuntime",
+    "SchedulerServer",
+    "TRACE_VERSION",
+    "load_checkpoint",
+    "make_scheduler",
+    "max_active_policy",
+    "read_trace",
+    "record_trace",
+    "replay_trace",
+    "restore",
+    "serve_forever",
+    "size_fits_policy",
+    "snapshot",
+    "write_checkpoint",
+    "write_trace",
+]

@@ -1,0 +1,245 @@
+"""Deterministic record / replay / snapshot of streaming scheduler runs.
+
+Two closely related on-disk artifacts, both newline-friendly JSON:
+
+**Trace** (``*.jsonl``) — the full input stream of a run.  Line 1 is a
+versioned header carrying the runtime's serializable config (scheduler
+wire name, ladder, admission specs); every further line is one event
+exactly as the runtime logged it (``submit`` / ``depart`` / ``advance``).
+Replaying a trace reconstructs the run bit-for-bit: the schedulers are
+deterministic functions of the event stream, so
+``replay(record(run))`` yields the identical assignment and cost, and
+re-recording the replayed runtime yields byte-identical trace lines
+(canonical JSON: sorted keys, compact separators, round-tripping floats).
+
+**Checkpoint** (``*.json``) — one document holding the header config, the
+event log so far *and* a derived-state block (clock, cost, active uids,
+an SHA-256 digest of the assignment).  :func:`restore` rebuilds the
+runtime by replay and then *verifies* the derived state against the
+recorded block, so a checkpoint that no longer reproduces itself (code
+drift, corruption) fails loudly instead of silently diverging.
+
+Schema versioning policy: ``TRACE_VERSION`` / ``CHECKPOINT_VERSION`` are
+integers bumped on any incompatible change; readers reject versions they
+do not know (no silent best-effort parsing).  See ``docs/algorithms.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from ..machines.ladder import Ladder
+from ..machines.types import MachineType
+from .runtime import SchedulerRuntime
+
+__all__ = [
+    "CheckpointError",
+    "TRACE_VERSION",
+    "CHECKPOINT_VERSION",
+    "record_trace",
+    "write_trace",
+    "read_trace",
+    "replay_trace",
+    "snapshot",
+    "restore",
+    "write_checkpoint",
+    "load_checkpoint",
+]
+
+TRACE_VERSION = 1
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A trace/checkpoint is malformed, from an unknown schema version, or
+    failed its self-verification on restore."""
+
+
+def _dumps(obj) -> str:
+    """Canonical JSON: sorted keys, no whitespace — the byte-stable form."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _require_config(runtime: SchedulerRuntime) -> dict:
+    if runtime.config is None:
+        raise CheckpointError(
+            "runtime has no serializable config; build it with "
+            "SchedulerRuntime.create(...) to enable record/snapshot"
+        )
+    return runtime.config
+
+
+def _ladder_from_config(pairs) -> Ladder:
+    return Ladder(MachineType(float(c), float(r)) for c, r in pairs)
+
+
+def _apply_event(runtime: SchedulerRuntime, event: dict) -> None:
+    op = event.get("op")
+    if op == "submit":
+        runtime.submit(
+            event["size"], event["t"], name=event.get("name"), uid=event["uid"]
+        )
+    elif op == "depart":
+        runtime.depart(event["uid"], event["t"])
+    elif op == "advance":
+        runtime.advance(event["t"])
+    else:
+        raise CheckpointError(f"unknown trace op {op!r}")
+
+
+def _assignment_digest(runtime: SchedulerRuntime) -> str:
+    """SHA-256 over the canonical uid -> machine mapping (open + closed)."""
+    mapping = {}
+    for uid in runtime.active_uids():
+        key = runtime.machine_of(uid)
+        mapping[str(uid)] = [key.type_index, list(key.tag)]
+    for job, key in runtime.schedule().assignment.items():
+        mapping[str(job.uid)] = [key.type_index, list(key.tag)]
+    return hashlib.sha256(_dumps(mapping).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+def record_trace(runtime: SchedulerRuntime) -> list[str]:
+    """The run so far as canonical JSON lines (header first)."""
+    header = {
+        "kind": "header",
+        "version": TRACE_VERSION,
+        "config": _require_config(runtime),
+    }
+    return [_dumps(header)] + [_dumps(e) for e in runtime.events]
+
+
+def write_trace(runtime: SchedulerRuntime, path: str | Path) -> None:
+    """Write the run's trace to ``path`` (one JSON document per line)."""
+    Path(path).write_text("\n".join(record_trace(runtime)) + "\n")
+
+
+def read_trace(source: str | Path | Iterable[str]) -> tuple[dict, list[dict]]:
+    """Parse a trace into ``(header, events)``; validates the version."""
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text().splitlines()
+    else:
+        lines = [ln for ln in source]
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        raise CheckpointError("empty trace")
+    try:
+        header = json.loads(lines[0])
+        events = [json.loads(ln) for ln in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"malformed trace line: {exc}") from exc
+    if header.get("kind") != "header":
+        raise CheckpointError("trace must start with a header line")
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise CheckpointError(
+            f"unsupported trace version {version!r} (this build reads {TRACE_VERSION})"
+        )
+    if "config" not in header:
+        raise CheckpointError("trace header lacks a config block")
+    return header, events
+
+
+def replay_trace(
+    source: str | Path | Iterable[str], *, metrics=None
+) -> SchedulerRuntime:
+    """Reconstruct a runtime by replaying a recorded trace."""
+    header, events = read_trace(source)
+    runtime = _runtime_from_config(header["config"], metrics=metrics)
+    for event in events:
+        _apply_event(runtime, event)
+    return runtime
+
+
+def _runtime_from_config(config: dict, *, metrics=None) -> SchedulerRuntime:
+    try:
+        ladder = _ladder_from_config(config["ladder"])
+        return SchedulerRuntime.create(
+            config["scheduler"],
+            ladder,
+            admission=[
+                tuple(s) if isinstance(s, list) else s
+                for s in config.get("admission", [])
+            ],
+            metrics=metrics,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"bad runtime config: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# checkpoints
+# ---------------------------------------------------------------------------
+
+def snapshot(runtime: SchedulerRuntime) -> dict:
+    """Self-verifying snapshot of the runtime (JSON-safe dict)."""
+    clock = runtime.clock
+    state = {
+        "clock": None if not math.isfinite(clock) else clock,
+        "n_events": runtime.n_events,
+        "cost": runtime.cost(),
+        "active": runtime.active_uids(),
+        "assignment_sha256": _assignment_digest(runtime),
+    }
+    return {
+        "version": CHECKPOINT_VERSION,
+        "config": _require_config(runtime),
+        "events": list(runtime.events),
+        "state": state,
+    }
+
+
+def restore(snap: dict, *, metrics=None) -> SchedulerRuntime:
+    """Rebuild a runtime from a snapshot and verify it reproduces the
+    recorded derived state exactly (raises :class:`CheckpointError` if not)."""
+    version = snap.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads {CHECKPOINT_VERSION})"
+        )
+    if "config" not in snap or "events" not in snap or "state" not in snap:
+        raise CheckpointError("checkpoint lacks config/events/state")
+    runtime = _runtime_from_config(snap["config"], metrics=metrics)
+    for event in snap["events"]:
+        _apply_event(runtime, event)
+    state = snap["state"]
+    expected_clock = state.get("clock")
+    clock = None if not math.isfinite(runtime.clock) else runtime.clock
+    mismatches = []
+    if clock != expected_clock:
+        mismatches.append(f"clock {clock!r} != {expected_clock!r}")
+    if runtime.n_events != state.get("n_events"):
+        mismatches.append(f"n_events {runtime.n_events} != {state.get('n_events')}")
+    if runtime.active_uids() != state.get("active"):
+        mismatches.append("active job set differs")
+    if runtime.cost() != state.get("cost"):
+        mismatches.append(f"cost {runtime.cost()!r} != {state.get('cost')!r}")
+    if _assignment_digest(runtime) != state.get("assignment_sha256"):
+        mismatches.append("assignment digest differs")
+    if mismatches:
+        raise CheckpointError(
+            "checkpoint failed self-verification: " + "; ".join(mismatches)
+        )
+    return runtime
+
+
+def write_checkpoint(runtime: SchedulerRuntime, path: str | Path) -> None:
+    """Snapshot the runtime to a JSON file."""
+    Path(path).write_text(json.dumps(snapshot(runtime), sort_keys=True, indent=1))
+
+
+def load_checkpoint(path: str | Path, *, metrics=None) -> SchedulerRuntime:
+    """Restore a runtime from a checkpoint file (with self-verification)."""
+    try:
+        snap = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"malformed checkpoint {path}: {exc}") from exc
+    return restore(snap, metrics=metrics)

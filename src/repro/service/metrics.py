@@ -1,0 +1,184 @@
+"""A small metrics registry for the streaming scheduler service.
+
+Three instrument kinds, deliberately dependency-free:
+
+- :class:`Counter` — monotone event counts (arrivals, rejections),
+- :class:`Gauge` — instantaneous values (active jobs, busy machines),
+- :class:`Histogram` — sampled distributions (per-decision latency) with a
+  bounded, *deterministic* reservoir: when full, every other sample is
+  dropped and the keep-stride doubles, so long streams degrade to coarser
+  but unbiased-in-time sampling without any randomness (replays stay
+  reproducible).
+
+:class:`MetricsRegistry` is the get-or-create front door the runtime and
+server use; it renders as aligned text (for terminals) or a plain dict
+(for the JSON-lines protocol and tests).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def as_dict(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """An instantaneous value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def as_dict(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A sampled distribution with a bounded deterministic reservoir.
+
+    All observations update ``count``/``total``/``min``/``max`` exactly;
+    quantiles are computed from the reservoir, which keeps every
+    ``stride``-th observation and compacts (drop every other kept sample,
+    double the stride) whenever it reaches ``max_samples``.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "max_samples",
+                 "_samples", "_stride", "_seen")
+
+    def __init__(self, name: str, *, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError("reservoir needs at least 2 slots")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0  # observations since the last kept sample
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self._seen += 1
+        if self._seen >= self._stride:
+            self._seen = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) from the reservoir."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, kind):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = factory(name)
+        elif not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, *, max_samples: int = 4096) -> Histogram:
+        return self._get(
+            name, lambda n: Histogram(n, max_samples=max_samples), Histogram
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict:
+        """All instruments as one JSON-safe dict (sorted by name)."""
+        return {name: self._instruments[name].as_dict() for name in self.names()}
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def render_text(self) -> str:
+        """Aligned human-readable dump, one instrument per line."""
+        lines = []
+        width = max((len(n) for n in self._instruments), default=0)
+        for name in self.names():
+            d = self._instruments[name].as_dict()
+            kind = d.pop("kind")
+            body = "  ".join(
+                f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in d.items()
+            )
+            lines.append(f"{name:<{width}s}  {kind:<9s} {body}")
+        return "\n".join(lines) if lines else "(no metrics)"

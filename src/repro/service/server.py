@@ -1,0 +1,180 @@
+"""The asyncio JSON-lines scheduler server behind ``bshm serve``.
+
+Wire protocol: one JSON document per line in each direction.  Requests
+carry an ``op`` field; responses always carry ``ok`` (and ``error`` when
+``ok`` is false).  The scheduler state is a single
+:class:`~repro.service.runtime.SchedulerRuntime` shared by all
+connections (requests are handled one line at a time per connection, and
+the event loop serializes handlers, so the time-monotonicity contract is
+enforced globally).
+
+Ops::
+
+    {"op": "submit", "size": 2.5, "t": 10.0, "name"?: str, "uid"?: int}
+        -> {"ok": true, "uid": 7, "accepted": true, "machine": "T2[A/1]",
+            "type": 2}   (or "accepted": false with "reason")
+    {"op": "depart", "uid": 7, "t": 14.0}        -> {"ok": true, "uid": 7}
+    {"op": "advance", "t": 20.0}                 -> {"ok": true, "clock": 20.0}
+    {"op": "stats"}      -> {"ok": true, "clock", "active", "cost", "metrics"}
+    {"op": "schedule"}   -> {"ok": true, "cost", "jobs", "machines"}
+    {"op": "checkpoint", "path"?: str}
+        -> {"ok": true, "path": ...} or {"ok": true, "snapshot": {...}}
+    {"op": "shutdown"}   -> {"ok": true, "bye": true}   (server stops)
+
+Malformed lines and rejected calls produce ``{"ok": false, "error": ...}``
+without tearing down the connection; only ``shutdown`` (or cancellation)
+stops the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+from .checkpoint import snapshot, write_checkpoint
+from .runtime import AdmissionError, SchedulerRuntime
+
+__all__ = ["SchedulerServer", "serve_forever"]
+
+
+class SchedulerServer:
+    """One runtime exposed over newline-delimited JSON on TCP."""
+
+    def __init__(self, runtime: SchedulerRuntime) -> None:
+        self.runtime = runtime
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sock_host, sock_port = self._server.sockets[0].getsockname()[:2]
+        return sock_host, sock_port
+
+    async def wait_shutdown(self) -> None:
+        """Block until a client sent ``shutdown``; then close the listener."""
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ---------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self.handle_line(line.decode("utf-8", "replace"))
+                writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+                await writer.drain()
+                if response.get("bye"):
+                    self._shutdown.set()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    def handle_line(self, line: str) -> dict:
+        """Process one request line synchronously (also used by tests)."""
+        if not line.strip():
+            return {"ok": False, "error": "empty request"}
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"malformed JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(request)
+        except (AdmissionError, ValueError, TypeError, KeyError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- ops ----------------------------------------------------------------
+    def _op_submit(self, request: dict) -> dict:
+        admission = self.runtime.submit(
+            float(request["size"]),
+            float(request["t"]),
+            name=request.get("name"),
+            uid=request.get("uid"),
+        )
+        out = {"ok": True, "uid": admission.uid, "accepted": admission.accepted}
+        if admission.accepted:
+            out["machine"] = str(admission.machine)
+            out["type"] = admission.machine.type_index
+        else:
+            out["reason"] = admission.reason
+        return out
+
+    def _op_depart(self, request: dict) -> dict:
+        self.runtime.depart(int(request["uid"]), float(request["t"]))
+        return {"ok": True, "uid": int(request["uid"])}
+
+    def _op_advance(self, request: dict) -> dict:
+        self.runtime.advance(float(request["t"]))
+        return {"ok": True, "clock": self.runtime.clock}
+
+    def _op_stats(self, request: dict) -> dict:
+        clock = self.runtime.clock
+        return {
+            "ok": True,
+            "clock": None if not math.isfinite(clock) else clock,
+            "active": self.runtime.n_active,
+            "events": self.runtime.n_events,
+            "cost": self.runtime.cost(),
+            "busy_by_type": {
+                str(i): n for i, n in self.runtime.busy_machines_by_type().items()
+            },
+            "metrics": self.runtime.metrics.as_dict(),
+        }
+
+    def _op_schedule(self, request: dict) -> dict:
+        sched = self.runtime.schedule()
+        return {
+            "ok": True,
+            "cost": sched.cost(),
+            "jobs": len(sched),
+            "machines": len(sched.machines()),
+        }
+
+    def _op_checkpoint(self, request: dict) -> dict:
+        path = request.get("path")
+        if path:
+            write_checkpoint(self.runtime, path)
+            return {"ok": True, "path": str(path)}
+        return {"ok": True, "snapshot": snapshot(self.runtime)}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "bye": True}
+
+
+async def serve_forever(
+    runtime: SchedulerRuntime,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    on_ready=None,
+) -> None:
+    """Start a server and run until a client requests shutdown.
+
+    ``on_ready(host, port)`` is called once the socket is bound — the CLI
+    uses it to print the ephemeral port before blocking.
+    """
+    server = SchedulerServer(runtime)
+    bound_host, bound_port = await server.start(host, port)
+    if on_ready is not None:
+        on_ready(bound_host, bound_port)
+    await server.wait_shutdown()

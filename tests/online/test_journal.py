@@ -61,3 +61,43 @@ class TestJournalingScheduler:
         text = render_journal(wrapped.journal, limit=10)
         assert "50 placements" in text
         assert "more placements" in text
+
+    def test_render_without_truncation(self):
+        ladder = dec_ladder(2)
+        jobs = JobSet([Job(0.5, 0, 2), Job(0.5, 1, 3)])
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        text = render_journal(wrapped.journal)
+        assert "2 placements" in text
+        assert "more placements" not in text
+        # one rendered line per decision plus the header
+        assert len(text.splitlines()) == 3
+
+    def test_machines_used_sorted_and_unique(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(30, rng, max_size=ladder.capacity(3))
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        used = wrapped.journal.machines_used()
+        assert used == sorted(set(used))
+        assert sum(len(wrapped.journal.decisions_on(k)) for k in used) == 30
+
+    def test_decisions_on_unused_machine_is_empty(self):
+        from repro.schedule.schedule import MachineKey
+
+        ladder = dec_ladder(2)
+        jobs = JobSet([Job(0.5, 0, 2)])
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        assert wrapped.journal.decisions_on(MachineKey(99, "nowhere")) == []
+
+    def test_departures_are_count_then_uid(self):
+        """Regression: each departure entry is ``(active_after, uid)`` —
+        an int pair with the count first, matching the field's documentation."""
+        ladder = dec_ladder(2)
+        jobs = JobSet([Job(0.5, 0, 2, uid=7), Job(0.5, 1, 3, uid=8)])
+        wrapped = JournalingScheduler(DecOnlineScheduler(ladder))
+        run_online(jobs, wrapped)
+        assert wrapped.journal.departures == [(1, 7), (0, 8)]
+        for active_after, uid in wrapped.journal.departures:
+            assert isinstance(active_after, int) and isinstance(uid, int)

@@ -1,0 +1,152 @@
+"""Record/replay and snapshot/restore: determinism is the contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecOnlineScheduler,
+    SchedulerRuntime,
+    dec_ladder,
+    uniform_workload,
+)
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_trace,
+    record_trace,
+    replay_trace,
+    restore,
+    snapshot,
+    write_checkpoint,
+    write_trace,
+)
+
+
+def drive(runtime, jobs, *, stop_after=None):
+    """Feed a batch instance into a runtime in canonical event order."""
+    for i, ev in enumerate(event_stream(jobs)):
+        if stop_after is not None and i >= stop_after:
+            return
+        if ev.kind is EventKind.ARRIVE:
+            runtime.submit(ev.job.size, ev.job.arrival, name=ev.job.name, uid=ev.job.uid)
+        else:
+            runtime.depart(ev.job.uid, ev.job.departure)
+
+
+@pytest.fixture
+def driven_runtime(rng):
+    ladder = dec_ladder(3)
+    jobs = uniform_workload(40, rng, max_size=ladder.capacity(3))
+    rt = SchedulerRuntime.create("dec", ladder, admission=["fits-ladder"])
+    drive(rt, jobs)
+    return rt
+
+
+class TestTrace:
+    def test_replay_reproduces_schedule_and_cost(self, driven_runtime):
+        lines = record_trace(driven_runtime)
+        replayed = replay_trace(lines)
+        original = driven_runtime.schedule()
+        again = replayed.schedule()
+        assert again.cost() == original.cost()  # exact, not approx
+        assert {(j.uid, k) for j, k in original.assignment.items()} == {
+            (j.uid, k) for j, k in again.assignment.items()
+        }
+
+    def test_rerecord_is_byte_identical(self, driven_runtime):
+        lines = record_trace(driven_runtime)
+        assert record_trace(replay_trace(lines)) == lines
+
+    def test_trace_file_roundtrip(self, driven_runtime, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_trace(driven_runtime, path)
+        replayed = replay_trace(path)
+        assert replayed.cost() == driven_runtime.cost()
+        header, events = read_trace(path)
+        assert header["version"] == 1
+        assert len(events) == driven_runtime.n_events
+
+    def test_unversioned_or_future_trace_rejected(self, driven_runtime):
+        lines = record_trace(driven_runtime)
+        header = json.loads(lines[0])
+        header["version"] = 99
+        with pytest.raises(CheckpointError, match="version"):
+            replay_trace([json.dumps(header)] + lines[1:])
+
+    def test_headerless_trace_rejected(self, driven_runtime):
+        lines = record_trace(driven_runtime)
+        with pytest.raises(CheckpointError, match="header"):
+            replay_trace(lines[1:])
+
+    def test_empty_and_malformed(self):
+        with pytest.raises(CheckpointError, match="empty"):
+            replay_trace([])
+        with pytest.raises(CheckpointError, match="malformed"):
+            replay_trace(["{not json"])
+
+    def test_unserializable_runtime_refuses_to_record(self, dec3):
+        rt = SchedulerRuntime(DecOnlineScheduler(dec3))  # no config
+        rt.submit(0.5, 0.0)
+        with pytest.raises(CheckpointError, match="config"):
+            record_trace(rt)
+
+
+class TestCheckpoint:
+    def test_snapshot_restore_midstream_then_continue(self, rng):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(30, rng, max_size=ladder.capacity(3))
+        events = list(event_stream(jobs))
+        half = len(events) // 2
+
+        rt = SchedulerRuntime.create("dec", ladder)
+        drive(rt, jobs, stop_after=half)
+        restored = restore(snapshot(rt))
+        assert restored.cost() == rt.cost()
+        assert restored.active_uids() == rt.active_uids()
+
+        # continuing BOTH runtimes with the remaining events must agree
+        for ev in events[half:]:
+            for r in (rt, restored):
+                if ev.kind is EventKind.ARRIVE:
+                    r.submit(ev.job.size, ev.job.arrival, name=ev.job.name, uid=ev.job.uid)
+                else:
+                    r.depart(ev.job.uid, ev.job.departure)
+        assert restored.schedule().cost() == rt.schedule().cost()
+        assert restored.cost() == rt.cost()
+
+    def test_checkpoint_file_roundtrip(self, driven_runtime, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(driven_runtime, path)
+        restored = load_checkpoint(path)
+        assert restored.cost() == driven_runtime.cost()
+
+    def test_tampered_checkpoint_fails_verification(self, driven_runtime):
+        snap = snapshot(driven_runtime)
+        snap["state"]["cost"] += 1.0
+        with pytest.raises(CheckpointError, match="self-verification"):
+            restore(snap)
+
+    def test_tampered_events_fail_digest(self, driven_runtime):
+        snap = snapshot(driven_runtime)
+        # drop the last event: derived state no longer matches
+        snap["events"] = snap["events"][:-1]
+        with pytest.raises(CheckpointError):
+            restore(snap)
+
+    def test_future_version_rejected(self, driven_runtime):
+        snap = snapshot(driven_runtime)
+        snap["version"] = 99
+        with pytest.raises(CheckpointError, match="version"):
+            restore(snap)
+
+    def test_snapshot_is_json_serializable(self, driven_runtime):
+        json.dumps(snapshot(driven_runtime))
+
+    def test_empty_runtime_roundtrip(self, dec3):
+        rt = SchedulerRuntime.create("dec", dec3)
+        restored = restore(snapshot(rt))
+        assert restored.n_events == 0
+        assert restored.cost() == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the service metrics registry."""
+
+import json
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.inc()
+        g.dec(0.5)
+        assert g.value == pytest.approx(3.5)
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in [1.0, 2.0, 3.0, 10.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(16.0)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 1.0 and h.max == 10.0
+
+    def test_percentiles_small(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(99) == pytest.approx(99.0)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_percentile(self):
+        assert Histogram("lat").percentile(50) == 0.0
+
+    def test_reservoir_bounded_and_deterministic(self):
+        h = Histogram("lat", max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._samples) < 64
+        # decimation is deterministic: a second identical stream gives the
+        # exact same reservoir
+        h2 = Histogram("lat", max_samples=64)
+        for v in range(10_000):
+            h2.observe(float(v))
+        assert h._samples == h2._samples
+        # quantiles stay sane after decimation
+        assert 4000.0 <= h.percentile(50) <= 6000.0
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_clash(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events")
+        assert reg.counter("events") is c
+        with pytest.raises(TypeError):
+            reg.gauge("events")
+
+    def test_render_json_and_text(self):
+        reg = MetricsRegistry()
+        reg.counter("arrivals").inc(3)
+        reg.gauge("active").set(2)
+        reg.histogram("lat").observe(1.5)
+        doc = json.loads(reg.render_json())
+        assert doc["arrivals"] == {"kind": "counter", "value": 3}
+        assert doc["active"]["value"] == 2.0
+        assert doc["lat"]["count"] == 1
+        text = reg.render_text()
+        assert "arrivals" in text and "histogram" in text
+
+    def test_empty_render(self):
+        assert MetricsRegistry().render_text() == "(no metrics)"

@@ -1,0 +1,178 @@
+"""The JSON-lines server: in-process protocol tests plus a full subprocess
+end-to-end smoke (the CI service job runs this file)."""
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import dec_ladder, run_online, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import load_checkpoint
+from repro.service.runtime import SchedulerRuntime, make_scheduler
+from repro.service.server import SchedulerServer
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def make_runtime():
+    return SchedulerRuntime.create("dec", dec_ladder(3), admission=["fits-ladder"])
+
+
+# ---------------------------------------------------------------------------
+# synchronous protocol-level tests (no sockets)
+# ---------------------------------------------------------------------------
+
+class TestHandleLine:
+    def test_submit_depart_stats(self):
+        server = SchedulerServer(make_runtime())
+        r = server.handle_line(json.dumps({"op": "submit", "size": 0.5, "t": 0.0}))
+        assert r["ok"] and r["accepted"] and r["machine"].startswith("T")
+        uid = r["uid"]
+        r = server.handle_line(json.dumps({"op": "depart", "uid": uid, "t": 3.0}))
+        assert r["ok"]
+        r = server.handle_line(json.dumps({"op": "stats"}))
+        assert r["ok"] and r["active"] == 0 and r["cost"] > 0
+        assert r["metrics"]["arrivals"]["value"] == 1
+
+    def test_rejection_is_reported_not_an_error(self):
+        server = SchedulerServer(make_runtime())
+        r = server.handle_line(json.dumps({"op": "submit", "size": 1e9, "t": 0.0}))
+        assert r["ok"] and not r["accepted"] and "capacity" in r["reason"]
+
+    def test_protocol_errors(self):
+        server = SchedulerServer(make_runtime())
+        assert not server.handle_line("")["ok"]
+        assert "malformed" in server.handle_line("{bad")["error"]
+        assert "unknown op" in server.handle_line(json.dumps({"op": "fly"}))["error"]
+        assert not server.handle_line(json.dumps(["submit"]))["ok"]
+        # missing params surface as an error response, not an exception
+        assert not server.handle_line(json.dumps({"op": "submit"}))["ok"]
+        # time violations likewise
+        server.handle_line(json.dumps({"op": "advance", "t": 10.0}))
+        r = server.handle_line(json.dumps({"op": "advance", "t": 5.0}))
+        assert not r["ok"] and "backwards" in r["error"]
+
+    def test_checkpoint_inline_and_schedule(self):
+        server = SchedulerServer(make_runtime())
+        server.handle_line(json.dumps({"op": "submit", "size": 0.5, "t": 0.0}))
+        r = server.handle_line(json.dumps({"op": "checkpoint"}))
+        assert r["ok"] and r["snapshot"]["version"] == 1
+        r = server.handle_line(json.dumps({"op": "schedule"}))
+        assert r["ok"] and r["jobs"] == 0  # open job at clock has zero length
+
+    def test_shutdown_response(self):
+        server = SchedulerServer(make_runtime())
+        assert server.handle_line(json.dumps({"op": "shutdown"}))["bye"]
+
+
+# ---------------------------------------------------------------------------
+# in-process asyncio round-trip
+# ---------------------------------------------------------------------------
+
+async def _ask(reader, writer, request: dict) -> dict:
+    writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+async def _roundtrip() -> dict:
+    server = SchedulerServer(make_runtime())
+    host, port = await server.start("127.0.0.1", 0)
+    waiter = asyncio.create_task(server.wait_shutdown())
+    reader, writer = await asyncio.open_connection(host, port)
+    out = {}
+    r = await _ask(reader, writer, {"op": "submit", "size": 2.0, "t": 1.0})
+    out["submit"] = r
+    r = await _ask(reader, writer, {"op": "depart", "uid": r["uid"], "t": 4.0})
+    out["depart"] = r
+    out["stats"] = await _ask(reader, writer, {"op": "stats"})
+    out["bye"] = await _ask(reader, writer, {"op": "shutdown"})
+    writer.close()
+    await asyncio.wait_for(waiter, timeout=5)
+    return out
+
+
+class TestAsyncServer:
+    def test_tcp_roundtrip_and_shutdown(self):
+        out = asyncio.run(_roundtrip())
+        assert out["submit"]["accepted"]
+        assert out["depart"]["ok"]
+        assert out["stats"]["cost"] > 0
+        assert out["bye"]["bye"]
+
+
+# ---------------------------------------------------------------------------
+# subprocess end-to-end: the CI smoke (bshm serve <- 50-job trace over TCP)
+# ---------------------------------------------------------------------------
+
+class TestServeEndToEnd:
+    def test_cli_serve_50_job_trace_matches_batch(self, tmp_path):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(50, np.random.default_rng(11), max_size=ladder.capacity(3))
+        expected = run_online(jobs, make_scheduler("dec", ladder)).cost()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--ladder-kind", "dec", "--m", "3", "--scheduler", "dec"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            host, port = banner.rsplit(" ", 1)[-1].strip().rsplit(":", 1)
+
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                sock.settimeout(10)
+                fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+                def ask(request):
+                    fh.write(json.dumps(request) + "\n")
+                    fh.flush()
+                    return json.loads(fh.readline())
+
+                for ev in event_stream(jobs):
+                    if ev.kind is EventKind.ARRIVE:
+                        r = ask({"op": "submit", "size": ev.job.size,
+                                 "t": ev.job.arrival, "uid": ev.job.uid,
+                                 "name": ev.job.name})
+                        assert r["ok"] and r["accepted"], r
+                    else:
+                        r = ask({"op": "depart", "uid": ev.job.uid,
+                                 "t": ev.job.departure})
+                        assert r["ok"], r
+
+                stats = ask({"op": "stats"})
+                assert stats["ok"] and stats["active"] == 0
+                # schedule cost must match batch run_online exactly (same
+                # kernel); the running-accumulator stat agrees to float noise
+                sched_resp = ask({"op": "schedule"})
+                assert sched_resp["cost"] == expected
+                assert abs(stats["cost"] - expected) <= 1e-9 * max(1.0, expected)
+
+                ckpt = tmp_path / "server.ckpt.json"
+                r = ask({"op": "checkpoint", "path": str(ckpt)})
+                assert r["ok"] and ckpt.exists()
+
+                bye = ask({"op": "shutdown"})
+                assert bye["bye"]
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=5)
+
+        # the checkpoint written over the wire restores to the same cost
+        restored = load_checkpoint(ckpt)
+        assert restored.schedule().cost() == expected

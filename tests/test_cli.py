@@ -80,3 +80,75 @@ class TestCli:
         out = capsys.readouterr().out
         assert "DEC-OFFLINE" in out
         assert "demand chart" in out
+
+
+class TestCliPathValidation:
+    """Bad paths exit with code 2 and a clear error — never a traceback."""
+
+    def test_schedule_missing_trace(self, trace_files, capsys):
+        _, ladder = trace_files
+        assert main(["schedule", "/no/such/trace.csv", "--ladder", ladder]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "trace" in err
+
+    def test_schedule_missing_ladder(self, trace_files, capsys):
+        trace, _ = trace_files
+        assert main(["schedule", trace, "--ladder", "/no/such/ladder.csv"]) == 2
+        assert "ladder" in capsys.readouterr().err
+
+    def test_schedule_unwritable_output(self, trace_files, capsys):
+        trace, ladder = trace_files
+        code = main(
+            ["schedule", trace, "--ladder", ladder,
+             "--output", "/no/such/dir/assign.csv"]
+        )
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_generate_unwritable_out(self, capsys):
+        code = main(
+            ["generate", "--workload", "poisson", "--n", "5",
+             "--out", "/no/such/dir/t.csv"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_recommend_missing_trace(self, trace_files, capsys):
+        _, ladder = trace_files
+        assert main(["recommend", "/no/such/trace.csv", "--ladder", ladder]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_missing_trace(self, capsys):
+        assert main(["replay", "/no/such/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliReplay:
+    def test_replay_roundtrip_with_verify(self, tmp_path, capsys):
+        from repro.core.events import EventKind, event_stream
+        from repro.service.checkpoint import write_trace
+        from repro.service.runtime import SchedulerRuntime
+
+        rng = np.random.default_rng(5)
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(15, rng, max_size=ladder.capacity(3))
+        rt = SchedulerRuntime.create("dec", ladder)
+        for ev in event_stream(jobs):
+            if ev.kind is EventKind.ARRIVE:
+                rt.submit(ev.job.size, ev.job.arrival, name=ev.job.name, uid=ev.job.uid)
+            else:
+                rt.depart(ev.job.uid, ev.job.departure)
+        trace = tmp_path / "run.jsonl"
+        write_trace(rt, trace)
+
+        ckpt = tmp_path / "ckpt.json"
+        assert main(["replay", str(trace), "--verify", "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "verify: batch run_online cost matches exactly" in out
+        assert ckpt.exists()
+
+    def test_replay_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["replay", str(bad)]) == 2
+        assert "cannot replay" in capsys.readouterr().err

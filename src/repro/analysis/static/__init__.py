@@ -1,0 +1,47 @@
+"""Invariant-aware static analysis: the checker behind ``bshm check``.
+
+AST-based lint rules enforcing the semantic invariants the paper's
+guarantees rest on (half-open intervals, ``time_tol`` comparisons,
+test-only oracle kernels, replay-safe determinism, frozen structures,
+checkpoint schema versioning).  See ``docs/invariants.md`` for the rule
+catalogue and :mod:`repro.analysis.static.invariants` for the rules
+themselves.
+
+Usage::
+
+    from repro.analysis.static import check_paths
+    findings, n_files = check_paths(["src"])
+    for diag in findings:
+        print(diag.format())
+"""
+
+from .diagnostics import Diagnostic, Severity
+from .engine import (
+    PARSE_ERROR_ID,
+    UNKNOWN_SUPPRESSION_ID,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from .rules import RULES, FileContext, Rule, all_rules, register_rule
+from . import invariants as invariants  # noqa: F401  (rule registration)
+from .invariants import SCHEMA_MANIFEST_NAME, compute_schema_manifest
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Rule",
+    "RULES",
+    "FileContext",
+    "register_rule",
+    "all_rules",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+    "PARSE_ERROR_ID",
+    "UNKNOWN_SUPPRESSION_ID",
+    "SCHEMA_MANIFEST_NAME",
+    "compute_schema_manifest",
+]

@@ -1,0 +1,45 @@
+"""Diagnostics emitted by the invariant checker.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a file
+position and a human-readable message.  Diagnostics are plain frozen
+values so rule implementations stay side-effect free and the engine can
+sort, dedup and filter them freely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Every finding fails ``bshm check``; the
+    severity only affects presentation (warnings may become errors, never
+    the reverse)."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Diagnostic:
+    """One finding at ``path:line:col`` from rule ``rule_id``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """The canonical one-line rendering (``path:line:col: error[ID] msg``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule_id}] {self.message}"
+        )

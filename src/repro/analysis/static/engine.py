@@ -1,0 +1,137 @@
+"""Checker engine: file discovery, suppressions, rule execution.
+
+The engine parses each ``.py`` file once, runs every registered rule
+whose scope accepts the file, and filters the findings through
+``# bshm: ignore[<RULE>, <RULE>]`` suppressions.  A suppression covers the
+physical line it sits on, or — when written on a comment-only line — the
+first following line (so multi-clause statements can be annotated above).
+
+Suppressions referencing an unknown rule id are themselves findings
+(:data:`UNKNOWN_SUPPRESSION_ID`): a typo'd ignore silently disables a
+tripwire, which is exactly the failure mode this layer exists to prevent.
+Unparseable files are reported as :data:`PARSE_ERROR_ID` findings rather
+than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic, Severity
+from .rules import RULES, FileContext, Rule, all_rules, module_parts
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "UNKNOWN_SUPPRESSION_ID",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+]
+
+PARSE_ERROR_ID = "BSHM900"
+UNKNOWN_SUPPRESSION_ID = "BSHM901"
+
+_IGNORE_RE = re.compile(r"#\s*bshm:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+def _suppressions(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], list[Diagnostic]]:
+    """Map line number -> suppressed rule ids; flag unknown ids."""
+    by_line: dict[int, set[str]] = {}
+    problems: list[Diagnostic] = []
+    known = set(RULES) | {PARSE_ERROR_ID, UNKNOWN_SUPPRESSION_ID}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        for rule_id in sorted(ids - known):
+            problems.append(
+                Diagnostic(
+                    path=path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule_id=UNKNOWN_SUPPRESSION_ID,
+                    message=(
+                        f"suppression names unknown rule id {rule_id!r}; "
+                        "a typo here silently disables nothing — fix the id"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+        target = lineno
+        if _COMMENT_ONLY_RE.match(line):
+            # a standalone suppression comment covers the next line
+            target = lineno + 1
+        by_line.setdefault(target, set()).update(ids & known)
+    return by_line, problems
+
+
+def check_source(
+    source: str,
+    path: str = "<snippet>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Diagnostic]:
+    """Run the rules over one source string (``path`` drives scoping)."""
+    ctx = FileContext(path=path, parts=module_parts(path), source=source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"cannot parse file: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    suppressed, problems = _suppressions(source, path)
+    findings: list[Diagnostic] = list(problems)
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for diag in rule.check(tree, ctx):
+            if diag.rule_id in suppressed.get(diag.line, ()):
+                continue
+            findings.append(diag)
+    return sorted(findings)
+
+
+def check_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Run the rules over one file."""
+    p = Path(path)
+    return check_source(p.read_text(), path=str(p), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                seen.setdefault(sub, None)
+        else:
+            seen.setdefault(p, None)
+    return sorted(seen)
+
+
+def check_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Check every ``.py`` under ``paths``; return (findings, files checked)."""
+    files = iter_python_files(paths)
+    findings: list[Diagnostic] = []
+    for f in files:
+        findings.extend(check_file(f, rules=rules))
+    return findings, len(files)

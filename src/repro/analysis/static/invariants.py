@@ -1,0 +1,498 @@
+"""Domain rules: the repo's semantic invariants, enforced mechanically.
+
+Each rule guards one invariant the paper's guarantees depend on (see
+``docs/invariants.md`` for the catalogue and the history of the bugs
+these rules would have caught):
+
+- :class:`ClosedBoundaryComparison` (BSHM001) — half-open intervals
+- :class:`FloatTimeEquality` (BSHM002) — ``time_tol``-guarded comparisons
+- :class:`ReferenceKernelCall` (BSHM003) — oracle kernels are test-only
+- :class:`Nondeterminism` (BSHM004) — replay safety in core/online/service
+- :class:`FrozenMutation` (BSHM005) — Schedule/Interval/Job immutability
+- :class:`CheckpointSchemaDrift` (BSHM006) — schema-version bumps
+
+Suppress a finding with ``# bshm: ignore[<RULE>]`` on the offending
+line (or on a comment-only line directly above) plus a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator
+
+from .diagnostics import Diagnostic
+from .rules import (
+    FileContext,
+    FunctionStackVisitor,
+    Rule,
+    compare_pairs,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = [
+    "START_ATTRS",
+    "END_ATTRS",
+    "TIME_ATTRS",
+    "ClosedBoundaryComparison",
+    "FloatTimeEquality",
+    "ReferenceKernelCall",
+    "Nondeterminism",
+    "FrozenMutation",
+    "CheckpointSchemaDrift",
+    "compute_schema_manifest",
+    "SCHEMA_MANIFEST_NAME",
+]
+
+#: attribute names denoting the *left* (closed) end of a half-open span
+START_ATTRS = frozenset({"arrival", "left", "minus", "start"})
+#: attribute names denoting the *right* (open) end of a half-open span
+END_ATTRS = frozenset({"departure", "right", "plus", "end"})
+#: attributes that hold time coordinates (float equality is suspect)
+TIME_ATTRS = START_ATTRS | END_ATTRS | {"clock"}
+
+#: packages where time/interval semantics are load-bearing
+_TIME_SCOPES = ("core", "online", "offline", "placement", "schedule", "service")
+#: packages that must stay deterministic for byte-identical replay
+_DETERMINISTIC_SCOPES = ("core", "online", "service")
+
+#: comparison dunders where structural ``==`` on endpoints is the point
+_COMPARISON_DUNDERS = frozenset(
+    {"__eq__", "__ne__", "__hash__", "__lt__", "__le__", "__gt__", "__ge__"}
+)
+#: methods allowed to call ``object.__setattr__`` (frozen construction)
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__", "__setstate__"})
+
+
+def _is_attr_in(node: ast.expr, names: frozenset[str]) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in names
+
+
+@register_rule
+class ClosedBoundaryComparison(Rule):
+    """``start <= end`` treats half-open intervals as closed.
+
+    Two half-open intervals ``[a1, d1)`` and ``[a2, d2)`` overlap iff
+    ``a1 < d2 and a2 < d1`` — *strict* ``<``.  Writing ``<=`` between a
+    start boundary and an end boundary manufactures a zero-measure
+    "overlap" at a departure/arrival handoff, the exact shape of the
+    PR 1 boundary bug.  (Disjointness ``d1 <= a2`` compares end-to-start
+    and is fine.)
+    """
+
+    id = "BSHM001"
+    title = "closed-interval comparison on half-open time boundaries"
+    rationale = "half-open [arrival, departure) semantics, paper Section II"
+    scopes = _TIME_SCOPES
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            for left, op, right in compare_pairs(node):
+                bad = (
+                    isinstance(op, ast.LtE)
+                    and _is_attr_in(left, START_ATTRS)
+                    and _is_attr_in(right, END_ATTRS)
+                ) or (
+                    isinstance(op, ast.GtE)
+                    and _is_attr_in(left, END_ATTRS)
+                    and _is_attr_in(right, START_ATTRS)
+                )
+                if bad:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "closed-interval comparison between a start and an end "
+                        "boundary; half-open [arrival, departure) overlap tests "
+                        "must use strict '<' (a departure at t never overlaps "
+                        "an arrival at t)",
+                    )
+
+
+@register_rule
+class FloatTimeEquality(Rule):
+    """Bare ``==`` / ``!=`` on float time coordinates.
+
+    Equality of event times must state its tolerance explicitly through
+    :mod:`repro.core.timecmp` (``time_eq`` / ``time_ne``); bit-exact
+    comparisons that are *meant* to be exact (replay verification,
+    memo keys) carry a justified ``# bshm: ignore[BSHM002]``.
+    Structural dunders (``__eq__`` and friends) are exempt.
+    """
+
+    id = "BSHM002"
+    title = "bare float equality on time coordinates"
+    rationale = "time_tol-guarded comparisons; sweep kernel tolerance contract"
+    scopes = _TIME_SCOPES
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        rule = self
+        out: list[Diagnostic] = []
+
+        class V(FunctionStackVisitor):
+            def visit_Compare(self, node: ast.Compare) -> None:
+                exempt = bool(_COMPARISON_DUNDERS & set(self.func_stack))
+                if not exempt:
+                    for left, op, right in compare_pairs(node):
+                        if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                            _is_attr_in(left, TIME_ATTRS)
+                            or _is_attr_in(right, TIME_ATTRS)
+                        ):
+                            out.append(
+                                rule.diag(
+                                    ctx,
+                                    node,
+                                    "bare float equality on a time coordinate; "
+                                    "use repro.core.timecmp.time_eq/time_ne (or "
+                                    "justify exactness with an ignore comment)",
+                                )
+                            )
+                            break
+                self.generic_visit(node)
+
+        V().visit(tree)
+        yield from out
+
+
+@register_rule
+class ReferenceKernelCall(Rule):
+    """Production code must not lean on the ``*_reference`` oracles.
+
+    The naive ``*_reference`` twins exist as differential-test oracles:
+    quadratic scans kept deliberately simple.  Calling one outside
+    ``tests/`` (except from inside another ``*_reference`` definition,
+    which is how the twins compose) silently reintroduces the per-time-
+    point complexity the sweep kernels removed.  Re-exports in
+    ``__init__.py`` are allowed — the oracles are public API *for tests*.
+    """
+
+    id = "BSHM003"
+    title = "reference oracle kernel used outside tests"
+    rationale = "sweep kernels are the production path; references are oracles"
+    scopes = None  # everywhere in the package
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        rule = self
+        out: list[Diagnostic] = []
+        in_init = ctx.filename == "__init__.py"
+
+        class V(FunctionStackVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                enclosing = self.current_function or ""
+                if (
+                    name
+                    and name.endswith("_reference")
+                    and not enclosing.endswith("_reference")
+                ):
+                    out.append(
+                        rule.diag(
+                            ctx,
+                            node,
+                            f"call to oracle kernel {name!r} outside tests/; "
+                            "use the sweep kernel on the production path",
+                        )
+                    )
+                self.generic_visit(node)
+
+            def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+                if not in_init:
+                    for alias in node.names:
+                        if alias.name.endswith("_reference"):
+                            out.append(
+                                rule.diag(
+                                    ctx,
+                                    node,
+                                    f"import of oracle kernel {alias.name!r} "
+                                    "outside tests/ (re-exports in __init__.py "
+                                    "are exempt)",
+                                )
+                            )
+                self.generic_visit(node)
+
+        V().visit(tree)
+        yield from out
+
+
+#: wall-clock reads that break byte-identical replay
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class Nondeterminism(Rule):
+    """Unseeded randomness or wall-clock reads in replay-critical code.
+
+    ``core/``, ``online/`` and ``service/`` must be deterministic
+    functions of the event stream — checkpoint replay re-executes the
+    recorded events and asserts byte-identical state, and the online
+    engines' non-clairvoyance argument assumes decisions depend only on
+    revealed inputs.  Randomness must come from an explicitly seeded
+    ``numpy.random.default_rng(seed)`` owned by the *caller*.
+    """
+
+    id = "BSHM004"
+    title = "nondeterminism in replay-critical code"
+    rationale = "byte-identical checkpoint replay; non-clairvoyance"
+    scopes = _DETERMINISTIC_SCOPES
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.diag(
+                            ctx,
+                            node,
+                            "import of the global-state 'random' module; pass "
+                            "a seeded numpy Generator in from the caller",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "import from the global-state 'random' module; pass "
+                        "a seeded numpy Generator in from the caller",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if dotted in _WALL_CLOCK or (
+                    parts[-1] in _DATETIME_NOW
+                    and any(p in ("datetime", "date") for p in parts[:-1])
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"wall-clock read {dotted!r}; scheduler state must be "
+                        "a function of event times only (replay safety)",
+                    )
+                elif len(parts) >= 2 and parts[-2] == "random":
+                    if parts[-1] != "default_rng":
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"global/unseeded RNG call {dotted!r}; use an "
+                            "explicitly seeded numpy.random.default_rng(seed)",
+                        )
+                    elif not node.args and not node.keywords:
+                        yield self.diag(
+                            ctx,
+                            node,
+                            "default_rng() without a seed is entropy-seeded "
+                            "and breaks replay; pass an explicit seed",
+                        )
+
+
+@register_rule
+class FrozenMutation(Rule):
+    """Mutation of frozen schedule/interval/job structures.
+
+    ``Interval``, ``Job``, ``Schedule`` and friends are immutable by
+    contract — every memo in the codebase (busy-time caches, grouped
+    sweeps) is sound only because a "placement change" must construct a
+    new object.  ``object.__setattr__`` is the blessed constructor-time
+    backdoor; anywhere else it is a mutation of a frozen value, as is a
+    plain assignment to a time/geometry field.
+    """
+
+    id = "BSHM005"
+    title = "mutation of a frozen structure"
+    rationale = "memoization soundness: Schedule/Interval/Job are immutable"
+    scopes = None
+
+    _FROZEN_FIELDS = frozenset({"arrival", "departure", "size", "left", "right"})
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        rule = self
+        out: list[Diagnostic] = []
+
+        class V(FunctionStackVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                if (
+                    dotted_name(node.func) == "object.__setattr__"
+                    and not (_CONSTRUCTORS & set(self.func_stack))
+                ):
+                    out.append(
+                        rule.diag(
+                            ctx,
+                            node,
+                            "object.__setattr__ outside a constructor mutates "
+                            "a frozen structure; build a new object instead",
+                        )
+                    )
+                self.generic_visit(node)
+
+            def _check_target(self, target: ast.expr) -> None:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in rule._FROZEN_FIELDS
+                    and not (_CONSTRUCTORS & set(self.func_stack))
+                ):
+                    out.append(
+                        rule.diag(
+                            ctx,
+                            target,
+                            f"assignment to frozen field {target.attr!r}; "
+                            "Interval/Job/Schedule values are immutable — "
+                            "construct a new one",
+                        )
+                    )
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                for t in node.targets:
+                    self._check_target(t)
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                self._check_target(node.target)
+                self.generic_visit(node)
+
+        V().visit(tree)
+        yield from out
+
+
+SCHEMA_MANIFEST_NAME = "schema_manifest.json"
+
+
+def _checkpoint_schema_facts(tree: ast.AST) -> tuple[dict[str, int], list[str]]:
+    """(version constants, sorted record-field keys) from checkpoint.py's AST.
+
+    Record fields are every string dict-literal key inside the two
+    serializer functions (``record_trace`` headers, ``snapshot``
+    documents) — exactly the wire surface a reader must understand.
+    """
+    versions: dict[str, int] = {}
+    fields: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id in ("TRACE_VERSION", "CHECKPOINT_VERSION")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                versions[target.id] = node.value.value
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node.name in ("record_trace", "snapshot")
+        ):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    for key in sub.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            fields.add(f"{node.name}:{key.value}")
+    return versions, sorted(fields)
+
+
+def compute_schema_manifest(checkpoint_path: str | Path) -> dict:
+    """The manifest dict that makes BSHM006 pass for the current source."""
+    source = Path(checkpoint_path).read_text()
+    tree = ast.parse(source)
+    versions, fields = _checkpoint_schema_facts(tree)
+    digest = hashlib.sha256("\n".join(fields).encode()).hexdigest()
+    return {
+        "trace_version": versions.get("TRACE_VERSION"),
+        "checkpoint_version": versions.get("CHECKPOINT_VERSION"),
+        "record_fields": fields,
+        "fields_sha256": digest,
+    }
+
+
+@register_rule
+class CheckpointSchemaDrift(Rule):
+    """Checkpoint/trace record fields changed without a version bump.
+
+    The wire schema of ``service/checkpoint.py`` is pinned by
+    ``service/schema_manifest.json``: the set of record fields the
+    serializers emit plus the schema version constants.  Editing the
+    fields without bumping ``TRACE_VERSION`` / ``CHECKPOINT_VERSION``
+    *and* refreshing the manifest (``bshm check --refresh-schema-manifest``)
+    fails here — readers reject unknown versions, so an unbumped edit
+    would silently desynchronize old traces instead.
+    """
+
+    id = "BSHM006"
+    title = "checkpoint schema drift without a version bump"
+    rationale = "schema versioning policy, docs/algorithms.md"
+    scopes = ("service",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return super().applies_to(ctx) and ctx.filename == "checkpoint.py"
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        versions, fields = _checkpoint_schema_facts(tree)
+        digest = hashlib.sha256("\n".join(fields).encode()).hexdigest()
+        manifest_path = Path(ctx.path).resolve().parent / SCHEMA_MANIFEST_NAME
+        if not manifest_path.exists():
+            yield self.diag(
+                ctx,
+                tree,
+                f"schema manifest {SCHEMA_MANIFEST_NAME} is missing next to "
+                "checkpoint.py; generate it with "
+                "'bshm check --refresh-schema-manifest'",
+            )
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError:
+            yield self.diag(
+                ctx, tree, f"schema manifest {manifest_path} is not valid JSON"
+            )
+            return
+        if manifest.get("fields_sha256") != digest or manifest.get(
+            "record_fields"
+        ) != fields:
+            recorded = set(manifest.get("record_fields") or ())
+            added = sorted(set(fields) - recorded)
+            removed = sorted(recorded - set(fields))
+            delta = "; ".join(
+                part
+                for part in (
+                    f"added {added}" if added else "",
+                    f"removed {removed}" if removed else "",
+                )
+                if part
+            )
+            yield self.diag(
+                ctx,
+                tree,
+                "checkpoint/trace record fields changed without a schema "
+                f"bump ({delta or 'field set differs'}); bump TRACE_VERSION/"
+                "CHECKPOINT_VERSION and run "
+                "'bshm check --refresh-schema-manifest'",
+            )
+        for const, key in (
+            ("TRACE_VERSION", "trace_version"),
+            ("CHECKPOINT_VERSION", "checkpoint_version"),
+        ):
+            if versions.get(const) != manifest.get(key):
+                yield self.diag(
+                    ctx,
+                    tree,
+                    f"{const} = {versions.get(const)} disagrees with the "
+                    f"manifest ({key} = {manifest.get(key)}); refresh the "
+                    "manifest alongside the version bump",
+                )

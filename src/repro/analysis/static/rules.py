@@ -1,0 +1,168 @@
+"""Rule base class and registry for the invariant checker.
+
+A rule is a small, stateless object with an id (``BSHM0xx``), a default
+severity, a one-line title, a rationale, and a scope predicate deciding
+which files it inspects.  Concrete rules implement :meth:`Rule.check`
+over a parsed ``ast`` tree and return :class:`Diagnostic` values.
+
+Rules register themselves via :func:`register_rule`; the engine runs
+every registered rule whose :meth:`Rule.applies_to` accepts the file.
+Rule ids are stable public API — they appear in ``# bshm: ignore[<RULE>]``
+suppressions and in ``docs/invariants.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Callable, Iterator, Type, TypeVar
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["FileContext", "Rule", "RULES", "register_rule", "all_rules", "module_parts"]
+
+
+def module_parts(path: str) -> tuple[str, ...]:
+    """Path components relative to the ``repro`` package root.
+
+    ``src/repro/core/sweep.py`` -> ``("core", "sweep.py")`` so scope
+    predicates can say "files under ``core/``" without caring where the
+    checkout lives.  Falls back to the raw components when the path does
+    not mention ``repro`` or ``src`` (ad-hoc snippets, test fixtures).
+    """
+    parts = PurePosixPath(PurePosixPath(path).as_posix()).parts
+    for anchor in ("repro", "src"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            if idx + 1 < len(parts):
+                return parts[idx + 1 :]
+    return parts
+
+
+@dataclass(frozen=True, slots=True)
+class FileContext:
+    """Everything a rule may need to know about the file under analysis."""
+
+    path: str
+    #: components relative to the package root (see :func:`module_parts`)
+    parts: tuple[str, ...]
+    source: str
+
+    @property
+    def in_tests(self) -> bool:
+        # benchmarks count: the perf guardrails time oracle kernels against
+        # the sweep (and read wall clocks) by design, like the tests do
+        raw = PurePosixPath(PurePosixPath(self.path).as_posix()).parts
+        return "tests" in raw or "benchmarks" in raw or "conftest.py" in raw
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.path
+
+    def top_package(self) -> str | None:
+        """First package directory under ``repro`` (``core``, ``online``, ...)."""
+        return self.parts[0] if len(self.parts) > 1 else None
+
+
+class Rule:
+    """Base class: one invariant, one stable id."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    severity: Severity = Severity.ERROR
+    #: package directories the rule inspects; ``None`` means everywhere
+    scopes: tuple[str, ...] | None = None
+    #: whether the rule also runs on test files
+    include_tests: bool = False
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.in_tests and not self.include_tests:
+            return False
+        if self.scopes is None:
+            return True
+        return ctx.top_package() in self.scopes
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: registry of all known rules, keyed by id (import order = id order)
+RULES: dict[str, Rule] = {}
+
+_R = TypeVar("_R", bound=Type[Rule])
+
+
+def register_rule(cls: _R) -> _R:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in id order."""
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FunctionStackVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing function-name stack."""
+
+    def __init__(self) -> None:
+        self.func_stack: list[str] = []
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    # both spellings share the handler
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    @property
+    def current_function(self) -> str | None:
+        return self.func_stack[-1] if self.func_stack else None
+
+
+def compare_pairs(
+    node: ast.Compare,
+) -> Iterator[tuple[ast.expr, ast.cmpop, ast.expr]]:
+    """Decompose a (possibly chained) comparison into binary pairs."""
+    left = node.left
+    for op, right in zip(node.ops, node.comparators):
+        yield left, op, right
+        left = right
+
+
+Checker = Callable[[ast.AST, FileContext], Iterator[Diagnostic]]

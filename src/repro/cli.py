@@ -18,6 +18,12 @@ Subcommands::
                                   # over TCP: submit/depart/stats/checkpoint)
     bshm replay trace.jsonl [--verify] [--checkpoint ckpt.json]
                                   # re-execute a recorded service trace
+    bshm lint trace.csv [--ladder ladder.csv]
+                                  # sanity-check a job trace / catalogue pair
+    bshm check [paths ...]        # invariant-aware static analysis (AST lint
+                                  # rules over src/ by default; exit 1 on
+                                  # findings).  --list-rules, --external,
+                                  # --refresh-schema-manifest
 """
 
 from __future__ import annotations
@@ -195,8 +201,6 @@ def _cmd_schedule(
     if report:
         from .analysis.report import schedule_report
 
-        from pathlib import Path
-
         Path(report).write_text(
             schedule_report(schedule, jobs, algorithm=algorithm)
         )
@@ -324,7 +328,7 @@ def _cmd_serve(
             f"unknown scheduler {scheduler!r}; choose from {sorted(SCHEDULER_REGISTRY)}"
         )
         return 2
-    admission: list = ["fits-ladder"]
+    admission: list[str | tuple[str, int]] = ["fits-ladder"]
     if max_active is not None:
         admission.append(("max-active", max_active))
     runtime = SchedulerRuntime.create(scheduler, ladder, admission=admission)
@@ -405,6 +409,103 @@ def _cmd_replay(
     return 0
 
 
+def _cmd_lint(trace: str, ladder_path: str | None) -> int:
+    from .jobs.io import read_jobs_csv, read_ladder_csv
+    from .jobs.lint import lint_instance
+
+    failed = _fail(
+        _input_error(trace, "job trace"),
+        _input_error(ladder_path, "ladder CSV") if ladder_path else None,
+    )
+    if failed:
+        return failed
+    jobs = read_jobs_csv(trace)
+    ladder = read_ladder_csv(ladder_path) if ladder_path else None
+    warnings = lint_instance(jobs, ladder)
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if warnings:
+        print(f"{trace}: {len(warnings)} warning(s)")
+        return 1
+    against = f" against {ladder_path}" if ladder_path else ""
+    print(f"{trace}: clean ({len(jobs)} jobs{against})")
+    return 0
+
+
+def _run_external_analyzers(paths: list[str]) -> int:
+    """mypy + ruff when installed; skipping a missing tool is not a failure
+    (the container may not ship them — CI does)."""
+    import shutil
+    import subprocess
+
+    status = 0
+    commands = {
+        "mypy": ["mypy"],
+        "ruff": ["ruff", "check", *paths],
+    }
+    for tool, cmd in commands.items():
+        if shutil.which(tool) is None:
+            print(f"check: {tool} not installed; skipping")
+            continue
+        print(f"check: running {' '.join(cmd)}")
+        if subprocess.call(cmd) != 0:
+            status = 1
+    return status
+
+
+def _cmd_check(
+    paths: list[str],
+    list_rules: bool,
+    refresh_schema_manifest: bool,
+    external: bool,
+) -> int:
+    import json
+
+    from .analysis.static import (
+        SCHEMA_MANIFEST_NAME,
+        all_rules,
+        check_paths,
+        compute_schema_manifest,
+    )
+
+    if list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity.value:7s} {rule.title}")
+            print(f"        guards: {rule.rationale}")
+        return 0
+    service_dir = Path(__file__).resolve().parent / "service"
+    if refresh_schema_manifest:
+        manifest = compute_schema_manifest(service_dir / "checkpoint.py")
+        out = service_dir / SCHEMA_MANIFEST_NAME
+        out.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+        print(f"schema manifest refreshed: {out}")
+        print(
+            "reminder: a field change must also bump TRACE_VERSION / "
+            "CHECKPOINT_VERSION (docs/invariants.md, BSHM006)"
+        )
+        return 0
+    failed = _fail(
+        *(
+            f"path {p!r} does not exist" if not Path(p).exists() else None
+            for p in paths
+        )
+    )
+    if failed:
+        return failed
+    findings, n_files = check_paths(paths)
+    for diag in findings:
+        print(diag.format())
+    status = 0
+    if findings:
+        print(f"bshm check: {len(findings)} finding(s) in {n_files} files")
+        status = 1
+    else:
+        print(f"bshm check: {n_files} files clean")
+    if external and _run_external_analyzers(paths) != 0:
+        status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bshm",
@@ -463,6 +564,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="assert the streaming cost equals a batch run_online of the same jobs",
     )
+    lint_p = sub.add_parser("lint", help="sanity-check a job trace (and catalogue)")
+    lint_p.add_argument("trace", help="job trace CSV (size,arrival,departure[,name])")
+    lint_p.add_argument("--ladder", dest="ladder_path", help="ladder CSV (capacity,rate)")
+    check_p = sub.add_parser(
+        "check", help="invariant-aware static analysis (AST lint rules)"
+    )
+    check_p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    check_p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    check_p.add_argument(
+        "--refresh-schema-manifest",
+        action="store_true",
+        help="regenerate service/schema_manifest.json from checkpoint.py",
+    )
+    check_p.add_argument(
+        "--external",
+        action="store_true",
+        help="also run mypy and ruff when installed (CI runs them required)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -491,6 +615,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "replay":
         return _cmd_replay(args.trace, args.checkpoint_out, args.verify)
+    if args.command == "lint":
+        return _cmd_lint(args.trace, args.ladder_path)
+    if args.command == "check":
+        return _cmd_check(
+            args.paths, args.list_rules, args.refresh_schema_manifest, args.external
+        )
     return 2
 
 

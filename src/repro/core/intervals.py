@@ -238,6 +238,9 @@ def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
     merged: list[Interval] = [ivs[0]]
     for iv in ivs[1:]:
         last = merged[-1]
+        # '<=' is deliberate: a normalized union merges *touching* members
+        # ([0,1) U [1,2) = [0,2)); this is set normalization, not an
+        # overlap test between two jobs.  # bshm: ignore[BSHM001]
         if iv.left <= last.right:  # touching counts as mergeable
             if iv.right > last.right:
                 merged[-1] = Interval(last.left, iv.right)

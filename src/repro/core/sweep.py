@@ -36,7 +36,7 @@ Kernels
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -361,8 +361,12 @@ def nested_demand_reference(
     active = np.zeros(k, dtype=np.int64)
     demand = np.zeros((m, k))
     for seg in range(k):
-        mid = (times[seg] + times[seg + 1]) / 2.0
-        live = [j for j in jobs if j.arrival <= mid < j.departure]
+        # probe at the segment's left endpoint: job status is constant on
+        # [times[seg], times[seg+1]) and the endpoint is an exact event
+        # time, whereas a midpoint probe can round onto the right boundary
+        # when the two event times are adjacent floats
+        probe = times[seg]
+        live = [j for j in jobs if j.arrival <= probe < j.departure]
         active[seg] = len(live)
         for i in range(1, m + 1):
             g_prev = capacities[i - 2] if i >= 2 else 0.0
@@ -393,7 +397,9 @@ class BusyIntervalCache:
 
     __slots__ = ("_raw", "_memo", "on_change")
 
-    def __init__(self, on_change=None) -> None:
+    def __init__(
+        self, on_change: Callable[[object | None], None] | None = None
+    ) -> None:
         self._raw: dict[object, list[tuple[float, float]]] = {}
         self._memo: dict[object, IntervalSet] = {}
         #: optional callback ``(key | None) -> None`` fired on invalidation

@@ -26,7 +26,7 @@ import math
 
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
-from ..machines.ladder import Ladder, Regime
+from ..machines.ladder import Ladder
 from ..placement.greedy import place_jobs
 from ..placement.strips import split_into_strips, two_color
 from ..schedule.schedule import MachineKey, Schedule

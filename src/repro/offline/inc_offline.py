@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
-from ..machines.ladder import Ladder, Regime
+from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey, Schedule
 from .dual_coloring import dual_coloring_assign
 

@@ -1,0 +1,32 @@
+"""Online (non-clairvoyant) schedulers and the batch replay engine.
+
+Public surface: the :class:`OnlineScheduler` protocol and engine, the
+paper's DEC/INC/general online algorithms, baselines, the clairvoyant
+comparison scheduler, windowed re-planning and decision journaling.
+"""
+
+from .clairvoyant import DurationClassScheduler, run_clairvoyant
+from .dec_online import DecOnlineScheduler
+from .engine import JobView, OnlineScheduler, run_online
+from .first_fit import FirstFitScheduler
+from .general_online import GeneralOnlineScheduler
+from .inc_online import IncOnlineScheduler
+from .journal import Decision, Journal, JournalingScheduler, render_journal
+from .windowed import windowed_schedule
+
+__all__ = [
+    "JobView",
+    "OnlineScheduler",
+    "run_online",
+    "FirstFitScheduler",
+    "DecOnlineScheduler",
+    "IncOnlineScheduler",
+    "GeneralOnlineScheduler",
+    "DurationClassScheduler",
+    "run_clairvoyant",
+    "windowed_schedule",
+    "Decision",
+    "Journal",
+    "JournalingScheduler",
+    "render_journal",
+]

@@ -1,0 +1,21 @@
+"""Section V placement: demand charts, greedy dual placement, strips.
+
+Public surface: the :class:`DemandChart` / :class:`Band` /
+:class:`Placement` geometry, the greedy altitude placer and the
+strip-splitting / two-coloring machinery behind the forest construction.
+"""
+
+from .chart import Band, DemandChart, Placement
+from .greedy import GreedyDualPlacer, place_jobs
+from .strips import StripAssignment, split_into_strips, two_color
+
+__all__ = [
+    "Band",
+    "DemandChart",
+    "Placement",
+    "GreedyDualPlacer",
+    "place_jobs",
+    "StripAssignment",
+    "split_into_strips",
+    "two_color",
+]

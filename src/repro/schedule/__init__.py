@@ -1,0 +1,28 @@
+"""Schedules: job-to-machine assignments, feasibility, cost and billing.
+
+Public surface: the immutable :class:`Schedule` / :class:`MachineKey`
+pair, the feasibility validator, and the billing-model overlays on the
+fluid busy-time objective.
+"""
+
+from .billing import FLUID, BillingModel, billed_cost, billing_overhead
+from .schedule import MachineKey, Schedule
+from .validate import (
+    FeasibilityError,
+    FeasibilityReport,
+    assert_feasible,
+    validate_schedule,
+)
+
+__all__ = [
+    "MachineKey",
+    "Schedule",
+    "FeasibilityError",
+    "FeasibilityReport",
+    "assert_feasible",
+    "validate_schedule",
+    "BillingModel",
+    "FLUID",
+    "billed_cost",
+    "billing_overhead",
+]

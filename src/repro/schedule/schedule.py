@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.intervals import IntervalSet
+# the oracle import feeds cost_reference() only — Schedule deliberately
+# carries its own differential-test twin.  # bshm: ignore[BSHM003]
 from ..core.sweep import (
     busy_union_reference,
     sweep_busy_union,

@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.sweep import sweep_peak_load
+from ..core.timecmp import TIME_TOL
 from ..jobs.jobset import JobSet
-from .schedule import MachineKey, Schedule
+from .schedule import Schedule
 
 __all__ = ["FeasibilityError", "FeasibilityReport", "validate_schedule", "assert_feasible"]
 
@@ -68,8 +69,8 @@ _CAP_TOL = 1e-9
 #: departure at (mathematical) time t and an arrival at the same t can land
 #: one ulp apart after float arithmetic (0.1 + 0.2 vs 0.3); half-open
 #: intervals mean such a handoff never overlaps, so the capacity check must
-#: not double-count it.
-_TIME_TOL = 1e-9
+#: not double-count it.  Shared with the time_eq/time_ne comparison helpers.
+_TIME_TOL = TIME_TOL
 
 
 def validate_schedule(schedule: Schedule, instance: JobSet) -> FeasibilityReport:

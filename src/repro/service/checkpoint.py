@@ -30,11 +30,14 @@ import hashlib
 import json
 import math
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..machines.ladder import Ladder
 from ..machines.types import MachineType
 from .runtime import SchedulerRuntime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
 
 __all__ = [
     "CheckpointError",
@@ -59,7 +62,7 @@ class CheckpointError(ValueError):
     failed its self-verification on restore."""
 
 
-def _dumps(obj) -> str:
+def _dumps(obj: object) -> str:
     """Canonical JSON: sorted keys, no whitespace — the byte-stable form."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
@@ -73,7 +76,7 @@ def _require_config(runtime: SchedulerRuntime) -> dict:
     return runtime.config
 
 
-def _ladder_from_config(pairs) -> Ladder:
+def _ladder_from_config(pairs: Iterable[Sequence[float]]) -> Ladder:
     return Ladder(MachineType(float(c), float(r)) for c, r in pairs)
 
 
@@ -148,7 +151,7 @@ def read_trace(source: str | Path | Iterable[str]) -> tuple[dict, list[dict]]:
 
 
 def replay_trace(
-    source: str | Path | Iterable[str], *, metrics=None
+    source: str | Path | Iterable[str], *, metrics: "MetricsRegistry | None" = None
 ) -> SchedulerRuntime:
     """Reconstruct a runtime by replaying a recorded trace."""
     header, events = read_trace(source)
@@ -158,7 +161,9 @@ def replay_trace(
     return runtime
 
 
-def _runtime_from_config(config: dict, *, metrics=None) -> SchedulerRuntime:
+def _runtime_from_config(
+    config: dict, *, metrics: "MetricsRegistry | None" = None
+) -> SchedulerRuntime:
     try:
         ladder = _ladder_from_config(config["ladder"])
         return SchedulerRuntime.create(
@@ -196,7 +201,9 @@ def snapshot(runtime: SchedulerRuntime) -> dict:
     }
 
 
-def restore(snap: dict, *, metrics=None) -> SchedulerRuntime:
+def restore(
+    snap: dict, *, metrics: "MetricsRegistry | None" = None
+) -> SchedulerRuntime:
     """Rebuild a runtime from a snapshot and verify it reproduces the
     recorded derived state exactly (raises :class:`CheckpointError` if not)."""
     version = snap.get("version")
@@ -236,7 +243,9 @@ def write_checkpoint(runtime: SchedulerRuntime, path: str | Path) -> None:
     Path(path).write_text(json.dumps(snapshot(runtime), sort_keys=True, indent=1))
 
 
-def load_checkpoint(path: str | Path, *, metrics=None) -> SchedulerRuntime:
+def load_checkpoint(
+    path: str | Path, *, metrics: "MetricsRegistry | None" = None
+) -> SchedulerRuntime:
     """Restore a runtime from a checkpoint file (with self-verification)."""
     try:
         snap = json.loads(Path(path).read_text())

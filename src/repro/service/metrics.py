@@ -19,8 +19,12 @@ from __future__ import annotations
 
 import json
 import math
+from typing import Callable, TypeVar
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: instrument type resolved by MetricsRegistry._get
+_I = TypeVar("_I", bound="Counter | Gauge | Histogram")
 
 
 class Counter:
@@ -138,7 +142,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, factory, kind):
+    def _get(
+        self, name: str, factory: Callable[[str], _I], kind: type[_I]
+    ) -> _I:
         inst = self._instruments.get(name)
         if inst is None:
             inst = self._instruments[name] = factory(name)

@@ -36,18 +36,20 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from ..core.sweep import BusyIntervalCache
 from ..jobs.job import Job
 from ..machines.ladder import Ladder
-from ..machines.types import MachineType
-from ..online.engine import JobView
+from ..online.engine import JobView, OnlineScheduler
 from ..online.dec_online import DecOnlineScheduler
 from ..online.first_fit import FirstFitScheduler
 from ..online.general_online import GeneralOnlineScheduler
 from ..online.inc_online import IncOnlineScheduler
 from ..schedule.schedule import MachineKey, Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
 
 __all__ = [
     "Admission",
@@ -89,7 +91,12 @@ SCHEDULER_REGISTRY: dict[str, Callable[[Ladder], object]] = {
 }
 
 
-def make_scheduler(name: str, ladder: Ladder):
+#: a policy inspects the arriving JobView and returns a rejection reason
+#: (or ``None`` to admit)
+AdmissionPolicy = Callable[[JobView, "SchedulerRuntime"], "str | None"]
+
+
+def make_scheduler(name: str, ladder: Ladder) -> OnlineScheduler:
     """Instantiate a registered online scheduler by wire name."""
     try:
         factory = SCHEDULER_REGISTRY[name]
@@ -108,7 +115,7 @@ def size_fits_policy(view: JobView, runtime: "SchedulerRuntime") -> str | None:
     return None
 
 
-def max_active_policy(limit: int):
+def max_active_policy(limit: int) -> AdmissionPolicy:
     """Reject arrivals while ``limit`` jobs are already active."""
 
     def policy(view: JobView, runtime: "SchedulerRuntime") -> str | None:
@@ -119,7 +126,7 @@ def max_active_policy(limit: int):
     return policy
 
 
-def _resolve_policy(spec):
+def _resolve_policy(spec: AdmissionPolicy | str | Sequence[object]) -> AdmissionPolicy:
     """Turn a declarative policy spec (or callable) into a callable."""
     if callable(spec):
         return spec
@@ -156,11 +163,11 @@ class SchedulerRuntime:
 
     def __init__(
         self,
-        scheduler,
+        scheduler: OnlineScheduler,
         *,
-        metrics=None,
-        admission: Iterable = (),
-        config: Mapping | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        admission: Iterable[AdmissionPolicy | str | Sequence[object]] = (),
+        config: Mapping[str, object] | None = None,
     ) -> None:
         from .metrics import MetricsRegistry  # local: keep import graph acyclic
 
@@ -189,8 +196,8 @@ class SchedulerRuntime:
         scheduler_name: str,
         ladder: Ladder,
         *,
-        admission: Iterable = (),
-        metrics=None,
+        admission: Iterable[str | Sequence[object]] = (),
+        metrics: "MetricsRegistry | None" = None,
     ) -> "SchedulerRuntime":
         """Build a runtime from wire names — the checkpointable constructor.
 
@@ -297,9 +304,11 @@ class SchedulerRuntime:
                 return Admission(uid=uid, accepted=False, machine=None,
                                  reason=reason, latency_s=0.0)
 
-        t0 = time.perf_counter()
+        # observability only: the latency histogram never feeds scheduler
+        # decisions or checkpoint state, so replay stays byte-identical.
+        t0 = time.perf_counter()  # bshm: ignore[BSHM004]
         key = self.scheduler.on_arrival(view)
-        latency = time.perf_counter() - t0
+        latency = time.perf_counter() - t0  # bshm: ignore[BSHM004]
         if not isinstance(key, MachineKey):
             raise TypeError("scheduler must return a MachineKey")
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+from typing import Callable
 
 from .checkpoint import snapshot, write_checkpoint
 from .runtime import AdmissionError, SchedulerRuntime
@@ -166,7 +167,7 @@ async def serve_forever(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
-    on_ready=None,
+    on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
     """Start a server and run until a client requests shutdown.
 

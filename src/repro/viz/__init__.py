@@ -1,0 +1,19 @@
+"""Visualization: ASCII charts, gantts, SVG export and forest rendering.
+
+Public surface: terminal renderings of placements / profiles / gantts,
+their SVG twins, and the Section V type-forest pretty printer.
+"""
+
+from .ascii_chart import render_placement, render_profile
+from .forest_viz import render_forest
+from .gantt import render_gantt
+from .svg import gantt_svg, placement_svg
+
+__all__ = [
+    "render_placement",
+    "render_profile",
+    "render_gantt",
+    "render_forest",
+    "gantt_svg",
+    "placement_svg",
+]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..machines.ladder import Ladder, TypeForest
+from ..machines.ladder import TypeForest
 
 __all__ = ["render_forest"]
 

@@ -7,7 +7,6 @@ everything is sized in user units with a viewBox, so the output scales.
 
 from __future__ import annotations
 
-from ..jobs.jobset import JobSet
 from ..placement.chart import Placement
 from ..schedule.schedule import Schedule
 

@@ -1,0 +1,346 @@
+"""Tests for the invariant checker: every rule fires on a minimal
+violating snippet and stays quiet when suppressed via ``# bshm: ignore``.
+
+The snippets are deliberately tiny — the point is pinning each rule's
+trigger surface (and its scope) as regression tests, plus the acceptance
+invariant that the repo itself is clean under ``bshm check src``.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.static import (
+    PARSE_ERROR_ID,
+    RULES,
+    UNKNOWN_SUPPRESSION_ID,
+    check_file,
+    check_paths,
+    check_source,
+    compute_schema_manifest,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def ids(findings):
+    return [d.rule_id for d in findings]
+
+
+def check(snippet: str, path: str):
+    return check_source(textwrap.dedent(snippet), path=path)
+
+
+# ---------------------------------------------------------------------------
+# BSHM001 — closed-interval comparisons on half-open boundaries
+# ---------------------------------------------------------------------------
+
+class TestClosedBoundary:
+    BAD = """
+    def overlaps(a, b):
+        return a.arrival <= b.departure and b.arrival <= a.departure
+    """
+
+    def test_fires(self):
+        findings = check(self.BAD, "core/foo.py")
+        assert ids(findings) == ["BSHM001", "BSHM001"]
+
+    def test_gte_orientation_fires(self):
+        findings = check(
+            "def f(a, b):\n    return a.departure >= b.arrival\n", "placement/foo.py"
+        )
+        assert ids(findings) == ["BSHM001"]
+
+    def test_strict_overlap_is_clean(self):
+        snippet = """
+        def overlaps(a, b):
+            return a.arrival < b.departure and b.arrival < a.departure
+        """
+        assert check(snippet, "core/foo.py") == []
+
+    def test_disjointness_le_is_clean(self):
+        # end <= start is the *correct* half-open disjointness test
+        snippet = "def disjoint(a, b):\n    return a.departure <= b.arrival\n"
+        assert check(snippet, "core/foo.py") == []
+
+    def test_out_of_scope_is_clean(self):
+        assert check(self.BAD, "viz/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "def overlaps(a, b):\n"
+            "    return a.arrival <= b.departure  # bshm: ignore[BSHM001]\n"
+        )
+        assert check_source(snippet, path="core/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM002 — bare float equality on time coordinates
+# ---------------------------------------------------------------------------
+
+class TestFloatTimeEquality:
+    def test_fires(self):
+        findings = check(
+            "def same(a, b):\n    return a.arrival == b.arrival\n", "online/foo.py"
+        )
+        assert ids(findings) == ["BSHM002"]
+
+    def test_not_eq_fires(self):
+        findings = check(
+            "def differ(a, t):\n    return a.departure != t\n", "core/foo.py"
+        )
+        assert ids(findings) == ["BSHM002"]
+
+    def test_structural_dunder_is_exempt(self):
+        snippet = """
+        class Interval:
+            def __eq__(self, other):
+                return self.left == other.left and self.right == other.right
+        """
+        assert check(snippet, "core/foo.py") == []
+
+    def test_plain_names_are_clean(self):
+        assert check("def f(a, b):\n    return a == b\n", "core/foo.py") == []
+
+    def test_suppressed_on_previous_comment_line(self):
+        snippet = (
+            "def same(a, b):\n"
+            "    # replay verification is deliberately bit-exact\n"
+            "    # bshm: ignore[BSHM002]\n"
+            "    return a.clock == b.clock\n"
+        )
+        assert check_source(snippet, path="service/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM003 — reference oracle kernels outside tests
+# ---------------------------------------------------------------------------
+
+class TestReferenceKernel:
+    def test_call_fires(self):
+        findings = check(
+            "def cost(jobs):\n    return busy_time_reference(jobs)\n",
+            "lowerbound/foo.py",
+        )
+        assert ids(findings) == ["BSHM003"]
+
+    def test_call_inside_reference_twin_is_clean(self):
+        snippet = """
+        def cost_reference(jobs):
+            return busy_time_reference(jobs)
+        """
+        assert check(snippet, "schedule/foo.py") == []
+
+    def test_import_fires(self):
+        findings = check(
+            "from ..core.sweep import busy_union_reference\n", "offline/foo.py"
+        )
+        assert ids(findings) == ["BSHM003"]
+
+    def test_reexport_in_init_is_clean(self):
+        snippet = "from .sweep import busy_union_reference\n"
+        assert check(snippet, "core/__init__.py") == []
+
+    def test_tests_are_exempt(self):
+        snippet = "def t():\n    return busy_time_reference([])\n"
+        assert check(snippet, "tests/core/test_foo.py") == []
+
+    def test_benchmarks_are_exempt(self):
+        # the perf guardrails time oracle kernels against the sweep by design
+        snippet = "def bench():\n    return busy_time_reference([])\n"
+        assert check(snippet, "benchmarks/bench_sweep.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "def cost(jobs):\n"
+            "    return busy_time_reference(jobs)  # bshm: ignore[BSHM003]\n"
+        )
+        assert check_source(snippet, path="lowerbound/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM004 — nondeterminism in replay-critical code
+# ---------------------------------------------------------------------------
+
+class TestNondeterminism:
+    def test_import_random_fires(self):
+        assert ids(check("import random\n", "online/foo.py")) == ["BSHM004"]
+
+    def test_wall_clock_fires(self):
+        findings = check(
+            "import time\n\ndef now():\n    return time.time()\n", "service/foo.py"
+        )
+        assert ids(findings) == ["BSHM004"]
+
+    def test_global_numpy_rng_fires(self):
+        findings = check(
+            "def f(np):\n    return np.random.rand(3)\n", "core/foo.py"
+        )
+        assert ids(findings) == ["BSHM004"]
+
+    def test_unseeded_default_rng_fires(self):
+        findings = check(
+            "def f(np):\n    return np.random.default_rng()\n", "core/foo.py"
+        )
+        assert ids(findings) == ["BSHM004"]
+
+    def test_seeded_default_rng_is_clean(self):
+        snippet = "def f(np):\n    return np.random.default_rng(0)\n"
+        assert check(snippet, "core/foo.py") == []
+
+    def test_generators_scope_is_exempt(self):
+        # jobs/generators are caller-seeded by convention, not rule scope
+        assert check("import random\n", "jobs/generators/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = "import time\n\ndef f():\n    return time.perf_counter()  # bshm: ignore[BSHM004]\n"
+        assert check_source(snippet, path="service/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM005 — mutation of frozen structures
+# ---------------------------------------------------------------------------
+
+class TestFrozenMutation:
+    def test_setattr_outside_constructor_fires(self):
+        findings = check(
+            "def tweak(iv):\n    object.__setattr__(iv, 'left', 0.0)\n",
+            "placement/foo.py",
+        )
+        assert ids(findings) == ["BSHM005"]
+
+    def test_setattr_in_init_is_clean(self):
+        snippet = """
+        class Frozen:
+            def __init__(self, left):
+                object.__setattr__(self, 'left', left)
+        """
+        assert check(snippet, "core/foo.py") == []
+
+    def test_field_assignment_fires(self):
+        findings = check("def f(job):\n    job.arrival = 3.0\n", "online/foo.py")
+        assert ids(findings) == ["BSHM005"]
+
+    def test_aug_assignment_fires(self):
+        findings = check("def f(iv):\n    iv.right += 1.0\n", "core/foo.py")
+        assert ids(findings) == ["BSHM005"]
+
+    def test_unrelated_attribute_is_clean(self):
+        assert check("def f(x):\n    x.count = 3\n", "core/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "def f(job):\n    job.arrival = 3.0  # bshm: ignore[BSHM005]\n"
+        )
+        assert check_source(snippet, path="online/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM006 — checkpoint schema drift
+# ---------------------------------------------------------------------------
+
+FAKE_CHECKPOINT = '''
+TRACE_VERSION = {trace_version}
+CHECKPOINT_VERSION = {checkpoint_version}
+
+
+def record_trace(runtime):
+    header = {{"kind": "header", "version": TRACE_VERSION, "config": None}}
+    return [header]
+
+
+def snapshot(runtime):
+    return {{"version": CHECKPOINT_VERSION, "state": {{{extra}"clock": 0}}}}
+'''
+
+
+class TestCheckpointSchema:
+    def _write(self, tmp_path, *, trace_version=1, checkpoint_version=1, extra=""):
+        pkg = tmp_path / "repro" / "service"
+        pkg.mkdir(parents=True, exist_ok=True)
+        path = pkg / "checkpoint.py"
+        path.write_text(
+            FAKE_CHECKPOINT.format(
+                trace_version=trace_version,
+                checkpoint_version=checkpoint_version,
+                extra=extra,
+            )
+        )
+        return path
+
+    def test_missing_manifest_fires(self, tmp_path):
+        path = self._write(tmp_path)
+        findings = check_file(path)
+        assert ids(findings) == ["BSHM006"]
+        assert "manifest" in findings[0].message
+
+    def test_in_sync_manifest_is_clean(self, tmp_path):
+        path = self._write(tmp_path)
+        manifest = compute_schema_manifest(path)
+        (path.parent / "schema_manifest.json").write_text(json.dumps(manifest))
+        assert check_file(path) == []
+
+    def test_field_edit_without_bump_fires(self, tmp_path):
+        path = self._write(tmp_path)
+        manifest = compute_schema_manifest(path)
+        (path.parent / "schema_manifest.json").write_text(json.dumps(manifest))
+        # sneak a new record field in without touching the versions
+        path = self._write(tmp_path, extra='"surprise": 1, ')
+        findings = check_file(path)
+        assert ids(findings) == ["BSHM006"]
+        assert "surprise" in findings[0].message
+        assert "bump" in findings[0].message
+
+    def test_version_bump_with_stale_manifest_fires(self, tmp_path):
+        path = self._write(tmp_path)
+        manifest = compute_schema_manifest(path)
+        (path.parent / "schema_manifest.json").write_text(json.dumps(manifest))
+        path = self._write(tmp_path, trace_version=2)
+        findings = check_file(path)
+        assert ids(findings) == ["BSHM006"]
+        assert "TRACE_VERSION" in findings[0].message
+
+    def test_repo_manifest_is_in_sync(self):
+        checkpoint = REPO_ROOT / "src" / "repro" / "service" / "checkpoint.py"
+        manifest = json.loads(
+            (checkpoint.parent / "schema_manifest.json").read_text()
+        )
+        assert manifest == compute_schema_manifest(checkpoint)
+
+
+# ---------------------------------------------------------------------------
+# engine mechanics
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_unknown_suppression_id_is_a_finding(self):
+        # assembled so this test file's own source doesn't carry the marker
+        snippet = "x = 1  # bshm: " + "ignore[BSHM999]\n"
+        findings = check_source(snippet, path="core/foo.py")
+        assert ids(findings) == [UNKNOWN_SUPPRESSION_ID]
+
+    def test_parse_error_is_a_finding(self):
+        findings = check_source("def f(:\n", path="core/foo.py")
+        assert ids(findings) == [PARSE_ERROR_ID]
+
+    def test_rule_catalogue_is_stable(self):
+        assert sorted(RULES) == [
+            "BSHM001", "BSHM002", "BSHM003", "BSHM004", "BSHM005", "BSHM006",
+        ]
+
+    def test_findings_are_sorted_and_formatted(self):
+        snippet = (
+            "def f(a, b):\n"
+            "    b.arrival = a.departure\n"
+            "    return a.arrival <= b.departure\n"
+        )
+        findings = check_source(snippet, path="core/foo.py")
+        assert ids(findings) == ["BSHM005", "BSHM001"]  # line order
+        rendered = findings[0].format()
+        assert rendered.startswith("core/foo.py:2:")
+        assert "error[BSHM005]" in rendered
+
+    def test_repo_src_is_clean(self):
+        findings, n_files = check_paths([REPO_ROOT / "src"])
+        assert n_files > 100
+        assert findings == []

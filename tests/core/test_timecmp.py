@@ -1,0 +1,33 @@
+"""Tests for the tolerance-aware time comparison helpers (BSHM002)."""
+
+from repro.core.timecmp import TIME_TOL, time_eq, time_le, time_lt, time_ne
+
+
+class TestTimeCmp:
+    def test_exact_equality(self):
+        assert time_eq(1.0, 1.0)
+        assert not time_ne(1.0, 1.0)
+
+    def test_float_sliver_counts_as_equal(self):
+        # the motivating case: 0.1 + 0.2 lands one ulp away from 0.3
+        assert 0.1 + 0.2 != 0.3
+        assert time_eq(0.1 + 0.2, 0.3)
+        assert not time_ne(0.1 + 0.2, 0.3)
+
+    def test_distinct_times_stay_distinct(self):
+        assert time_ne(1.0, 1.0 + 10 * TIME_TOL)
+        assert not time_eq(1.0, 2.0)
+
+    def test_strict_less_than_needs_a_real_gap(self):
+        assert time_lt(1.0, 2.0)
+        assert not time_lt(1.0, 1.0 + TIME_TOL / 2)
+        assert not time_lt(2.0, 1.0)
+
+    def test_le_admits_equal_within_tolerance(self):
+        assert time_le(1.0, 1.0 + TIME_TOL / 2)
+        assert time_le(1.0, 2.0)
+        assert not time_le(2.0, 1.0)
+
+    def test_zero_tolerance_is_exact(self):
+        assert not time_eq(0.1 + 0.2, 0.3, tol=0.0)
+        assert time_lt(1.0, 1.0 + 1e-15, tol=0.0)

@@ -152,3 +152,63 @@ class TestCliReplay:
         bad.write_text("{not json\n")
         assert main(["replay", str(bad)]) == 2
         assert "cannot replay" in capsys.readouterr().err
+
+
+class TestCliLint:
+    def test_lint_clean(self, trace_files, capsys):
+        trace, ladder = trace_files
+        assert main(["lint", trace, "--ladder", ladder]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and ladder in out
+
+    def test_lint_without_ladder(self, trace_files, capsys):
+        trace, _ = trace_files
+        assert main(["lint", trace]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_warns_on_duplicates(self, tmp_path, capsys):
+        from repro.jobs.io import write_jobs_csv
+        from repro.jobs.jobset import Job, JobSet
+
+        jobs = JobSet([Job(1.0, 0.0, 2.0), Job(1.0, 0.0, 2.0)])
+        trace = tmp_path / "dupes.csv"
+        write_jobs_csv(jobs, trace)
+        assert main(["lint", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "duplicates" in out and "1 warning(s)" in out
+
+    def test_lint_missing_trace(self, capsys):
+        assert main(["lint", "/no/such/trace.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_missing_ladder(self, trace_files, capsys):
+        trace, _ = trace_files
+        assert main(["lint", trace, "--ladder", "/no/such/ladder.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliCheck:
+    def test_check_src_is_clean(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        assert main(["check", str(src)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_reports_findings(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a, b):\n    return a.arrival <= b.departure\n")
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "BSHM001" in out and "1 finding(s)" in out
+
+    def test_check_missing_path(self, capsys):
+        assert main(["check", "/no/such/dir"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_check_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("BSHM001", "BSHM006"):
+            assert rule_id in out

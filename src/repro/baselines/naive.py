@@ -52,7 +52,10 @@ class LargestTypeFirstFit:
     def __init__(self, ladder: Ladder) -> None:
         self.ladder = ladder
         self.state = FleetState()
-        self.pool = IndexedPool("big", ladder.m, ladder.capacity(ladder.m), budget=None)
+        self.pool = IndexedPool(
+            "big", ladder.m, ladder.capacity(ladder.m), budget=None,
+            stats=self.state.stats,
+        )
 
     def on_arrival(self, job: JobView) -> MachineKey:
         """First-Fit among the largest-type pool."""

@@ -19,11 +19,9 @@ is that the tolerance is now part of the call site's vocabulary.
 
 from __future__ import annotations
 
-__all__ = ["TIME_TOL", "time_eq", "time_ne", "time_lt", "time_le"]
+from .tolerance import TIME_TOL
 
-#: default tolerance for time comparisons: generous against float noise,
-#: far below any meaningful duration in the experiment suite
-TIME_TOL = 1e-9
+__all__ = ["TIME_TOL", "time_eq", "time_ne", "time_lt", "time_le"]
 
 
 def time_eq(a: float, b: float, tol: float = TIME_TOL) -> bool:

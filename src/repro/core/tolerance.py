@@ -1,0 +1,28 @@
+"""The single source of truth for the repo's float-noise tolerance.
+
+Three independent ``1e-9`` constants used to coexist — ``TIME_TOL`` in
+:mod:`repro.core.timecmp` plus private ``_TOL`` copies in
+:mod:`repro.machines.fleet` and :mod:`repro.machines.machine` — which is
+exactly the kind of drift the BSHM002 lint rule exists to prevent on the
+time axis: a one-sided edit would silently change which jobs "fit" a
+machine without changing which events "coincide".  Every tolerance now
+derives from :data:`TOLERANCE`; the named aliases say which axis a call
+site is guarding.
+
+The value is deliberately generous against accumulated float rounding
+(sums of job sizes, window arithmetic) yet far below any meaningful job
+size or duration in the experiment suite.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TOLERANCE", "SIZE_TOL", "TIME_TOL"]
+
+#: the repo-wide absolute tolerance for float comparisons
+TOLERANCE = 1e-9
+
+#: tolerance for capacity/size comparisons (machine fits, pool admission)
+SIZE_TOL = TOLERANCE
+
+#: tolerance for time comparisons (re-exported by :mod:`repro.core.timecmp`)
+TIME_TOL = TOLERANCE

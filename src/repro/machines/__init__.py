@@ -1,0 +1,15 @@
+"""Machine types, ladders, and the indexed online fleet."""
+
+from .fleet import FleetState, IndexedPool, PlacementStats
+from .machine import OnlineMachine
+from .placement_index import INFINITE_LOAD, FreeSlotHeap, MinLoadSegmentTree
+
+__all__ = [
+    "FleetState",
+    "FreeSlotHeap",
+    "INFINITE_LOAD",
+    "IndexedPool",
+    "MinLoadSegmentTree",
+    "OnlineMachine",
+    "PlacementStats",
+]

@@ -12,16 +12,53 @@ only jobs of size ``<= g_i / 2``) and an optional one-job-at-a-time rule
   machines is below the concurrency budget;
 - a fresh machine (next index) is materialized on demand, so the pool is
   conceptually infinite.
+
+First-Fit decisions are O(log n) (the **indexed placement engine**): busy
+machines are indexed by a :class:`~repro.machines.placement_index.
+MinLoadSegmentTree` whose leftmost-fit descent evaluates the exact
+:meth:`OnlineMachine.fits` predicate on subtree minima, empty machines by a
+:class:`~repro.machines.placement_index.FreeSlotHeap` (all empties carry
+load 0.0, so only the lowest free index matters), and the concurrency
+budget by a live busy counter maintained on empty/busy transitions.
+Single-job (Group B) pools skip the tree entirely — the heap alone decides.
+
+The pre-index linear scan survives as :meth:`IndexedPool.first_fit_reference`
+— a differential-test oracle in the sense of BSHM003 (never called from
+production paths).  The indexed engine is gated on *placement-sequence
+parity* with it: same machine keys in the same order, bit-identical loads
+(``tests/property/test_placement_parity.py``), which is what keeps golden
+cost pins and service replay checkpoints byte-identical.
 """
 
 from __future__ import annotations
 
+from ..core.tolerance import SIZE_TOL as _TOL
 from ..schedule.schedule import MachineKey
 from .machine import OnlineMachine
+from .placement_index import INFINITE_LOAD, FreeSlotHeap, MinLoadSegmentTree
 
-__all__ = ["IndexedPool", "FleetState"]
+__all__ = ["IndexedPool", "FleetState", "PlacementStats"]
 
-_TOL = 1e-9
+
+class PlacementStats:
+    """Cumulative placement-probe accounting, shared across a fleet's pools.
+
+    ``probes`` counts index inspections (tree-node predicate evaluations,
+    heap peeks, scanned machines in the reference oracle); ``decisions``
+    counts ``first_fit`` calls.  :meth:`SchedulerRuntime.submit
+    <repro.service.runtime.SchedulerRuntime.submit>` samples the per-call
+    probe delta into the ``placement_probes`` counter and the
+    ``probe_depth`` histogram.
+    """
+
+    __slots__ = ("probes", "decisions")
+
+    def __init__(self) -> None:
+        self.probes = 0
+        self.decisions = 0
+
+    def __repr__(self) -> str:
+        return f"PlacementStats(probes={self.probes}, decisions={self.decisions})"
 
 
 class IndexedPool:
@@ -35,6 +72,10 @@ class IndexedPool:
         "budget",
         "single_job",
         "machines",
+        "stats",
+        "_busy",
+        "_tree",
+        "_free",
     )
 
     def __init__(
@@ -46,6 +87,7 @@ class IndexedPool:
         size_limit: float | None = None,
         budget: int | None = None,
         single_job: bool = False,
+        stats: PlacementStats | None = None,
     ) -> None:
         self.group = group
         self.type_index = type_index
@@ -56,9 +98,14 @@ class IndexedPool:
         self.budget = budget
         self.single_job = single_job
         self.machines: list[OnlineMachine] = []
+        self.stats = stats if stats is not None else PlacementStats()
+        self._busy = 0  # live count of machines with >= 1 resident job
+        # busy-machine index; single-job pools never probe busy machines
+        self._tree = None if single_job else MinLoadSegmentTree()
+        self._free = FreeSlotHeap()
 
     def busy_count(self) -> int:
-        return sum(1 for m in self.machines if m.busy)
+        return self._busy
 
     def admits_size(self, size: float) -> bool:
         return size <= self.size_limit + _TOL
@@ -68,22 +115,101 @@ class IndexedPool:
             return (not self.single_job) and machine.fits(size)
         return may_open and machine.fits(size)
 
+    # -- index maintenance --------------------------------------------------
+    def _machine_updated(self, slot: int, was_busy: bool) -> None:
+        """Load-change hook from :meth:`OnlineMachine.admit`/``release``."""
+        machine = self.machines[slot]
+        if machine.busy:
+            if self._tree is not None:
+                self._tree.set(slot, machine.load)
+            if not was_busy:
+                self._busy += 1
+        else:
+            if self._tree is not None:
+                self._tree.set(slot, INFINITE_LOAD)
+            if was_busy:
+                self._busy -= 1
+                self._free.push(slot)
+
+    def _open_machine(self) -> OnlineMachine:
+        """Materialize the next-indexed machine, registered in the indexes."""
+        slot = len(self.machines)
+        machine = OnlineMachine(
+            MachineKey(self.type_index, (self.group, slot + 1)), self.capacity
+        )
+        machine.bind(self, slot)
+        self.machines.append(machine)
+        if self._tree is not None:
+            self._tree.append(INFINITE_LOAD)
+        # empty until the caller admits; the entry goes stale at that point
+        # and is lazily discarded (it must exist in case the admit fails)
+        self._free.push(slot)
+        return machine
+
+    # -- the placement engine ----------------------------------------------
     def first_fit(self, uid: int, size: float) -> OnlineMachine | None:
         """Place on the lowest-indexed feasible machine; None if the size is
-        inadmissible or the concurrency budget blocks every option."""
+        inadmissible or the concurrency budget blocks every option.
+
+        O(log n): min-load tree descent for busy machines, free-slot heap
+        peek for empty ones, lowest index of the two wins — exactly the
+        machine :meth:`first_fit_reference`'s left-to-right scan selects.
+        """
         if not self.admits_size(size):
             return None
-        may_open = self.budget is None or self.busy_count() < self.budget
+        stats = self.stats
+        stats.decisions += 1
+        may_open = self.budget is None or self._busy < self.budget
+
+        best: int | None = None
+        if self._tree is not None:
+            slot, probes = self._tree.leftmost_fit(size, self.capacity + _TOL)
+            stats.probes += probes
+            best = slot
+
+        from_heap = False
+        if may_open:
+            machines = self.machines
+            free, probes = self._free.peek(lambda s: machines[s].empty)
+            stats.probes += probes
+            # every empty machine has load exactly 0.0, so one fits-check
+            # covers them all (and the would-be fresh machine too)
+            if free is not None and not machines[free].fits(size):
+                free = None
+            if free is not None and (best is None or free < best):
+                best = free
+                from_heap = True
+
+        if best is None:
+            if not may_open:
+                return None
+            # fresh machine; admit raises (like the scan did) in the corner
+            # case of an admissible size that exceeds the raw capacity
+            machine = self._open_machine()
+            machine.admit(uid, size)
+            return machine
+
+        machine = self.machines[best]
+        if from_heap:
+            self._free.pop()
+        machine.admit(uid, size)
+        return machine
+
+    def first_fit_reference(self, uid: int, size: float) -> OnlineMachine | None:
+        """The pre-index O(machines) linear scan, kept as the differential
+        oracle for :meth:`first_fit` (test/bench only — BSHM003)."""
+        if not self.admits_size(size):
+            return None
+        stats = self.stats
+        stats.decisions += 1
+        may_open = self.budget is None or self._busy < self.budget
         for machine in self.machines:
+            stats.probes += 1
             if self._machine_usable(machine, size, may_open):
                 machine.admit(uid, size)
                 return machine
         if may_open:
-            machine = OnlineMachine(
-                MachineKey(self.type_index, (self.group, len(self.machines) + 1)),
-                self.capacity,
-            )
-            self.machines.append(machine)
+            machine = self._open_machine()
             machine.admit(uid, size)
             return machine
         return None
@@ -96,12 +222,14 @@ class IndexedPool:
 
 
 class FleetState:
-    """Shared bookkeeping for online schedulers: job uid -> machine."""
+    """Shared bookkeeping for online schedulers: job uid -> machine, plus
+    the fleet-wide :class:`PlacementStats` its pools report into."""
 
-    __slots__ = ("placement",)
+    __slots__ = ("placement", "stats")
 
     def __init__(self) -> None:
         self.placement: dict[int, OnlineMachine] = {}
+        self.stats = PlacementStats()
 
     def record(self, uid: int, machine: OnlineMachine) -> MachineKey:
         self.placement[uid] = machine

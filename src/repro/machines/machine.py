@@ -4,27 +4,45 @@ Online schedulers track, per physical machine, the set of resident jobs and
 the current load.  Cost is *not* accumulated here — the resulting
 :class:`~repro.schedule.schedule.Schedule` recomputes busy time exactly from
 the final assignment — so this class only answers "can this job fit now?".
+
+A machine owned by an :class:`~repro.machines.fleet.IndexedPool` is *bound*
+to it (:meth:`OnlineMachine.bind`): every load change reports back so the
+pool's placement index (min-load segment tree, free-slot heap, live busy
+counter) stays consistent no matter which code path mutates the machine —
+``first_fit``, the ``first_fit_reference`` oracle, or a direct
+``admit``/``release`` in a test.  Unbound machines behave exactly as before.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from ..core.tolerance import SIZE_TOL as _TOL
 from ..schedule.schedule import MachineKey
 
-__all__ = ["OnlineMachine"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .fleet import IndexedPool
 
-_TOL = 1e-9
+__all__ = ["OnlineMachine"]
 
 
 class OnlineMachine:
     """One physical machine during an online run."""
 
-    __slots__ = ("key", "capacity", "resident", "load")
+    __slots__ = ("key", "capacity", "resident", "load", "_pool", "_slot")
 
     def __init__(self, key: MachineKey, capacity: float) -> None:
         self.key = key
         self.capacity = float(capacity)
         self.resident: dict[int, float] = {}  # job uid -> size
         self.load = 0.0
+        self._pool: "IndexedPool | None" = None
+        self._slot = -1
+
+    def bind(self, pool: "IndexedPool", slot: int) -> None:
+        """Attach this machine to ``pool`` as its ``slot``-th member."""
+        self._pool = pool
+        self._slot = slot
 
     @property
     def busy(self) -> bool:
@@ -42,14 +60,19 @@ class OnlineMachine:
             raise ValueError(f"machine {self.key} cannot fit size {size}")
         if uid in self.resident:
             raise ValueError(f"job {uid} already on machine {self.key}")
+        was_busy = bool(self.resident)
         self.resident[uid] = size
         self.load += size
+        if self._pool is not None:
+            self._pool._machine_updated(self._slot, was_busy)
 
     def release(self, uid: int) -> None:
         size = self.resident.pop(uid)
         self.load -= size
         if self.empty:
             self.load = 0.0  # kill float residue when idle
+        if self._pool is not None:
+            self._pool._machine_updated(self._slot, True)
 
     def __repr__(self) -> str:
         return f"OnlineMachine({self.key}, load={self.load:g}/{self.capacity:g}, jobs={len(self.resident)})"

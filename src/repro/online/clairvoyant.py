@@ -96,6 +96,7 @@ class DurationClassScheduler(ClairvoyantScheduler):
                 size_class,
                 self.ladder.capacity(size_class),
                 budget=None,
+                stats=self.state.stats,
             )
             self.pools[key] = pool
         machine = pool.first_fit(job.uid, job.size)

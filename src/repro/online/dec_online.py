@@ -56,6 +56,7 @@ class DecOnlineScheduler:
         self.state = FleetState()
         self.group_a: dict[int, IndexedPool] = {}
         self.group_b: dict[int, IndexedPool] = {}
+        stats = self.state.stats  # fleet-wide probe accounting
         for i in range(1, ladder.m + 1):
             if i < ladder.m:
                 budget = group_budget(ladder.rate(i + 1) / ladder.rate(i), budget_factor)
@@ -63,10 +64,10 @@ class DecOnlineScheduler:
                 budget = None
             g = ladder.capacity(i)
             self.group_a[i] = IndexedPool(
-                "A", i, g, size_limit=g / 2.0, budget=budget
+                "A", i, g, size_limit=g / 2.0, budget=budget, stats=stats
             )
             self.group_b[i] = IndexedPool(
-                "B", i, g, budget=budget, single_job=True
+                "B", i, g, budget=budget, single_job=True, stats=stats
             )
 
     # -- scheduler protocol -------------------------------------------------

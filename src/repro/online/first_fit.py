@@ -22,10 +22,11 @@ class FirstFitScheduler:
     def __init__(self, ladder: Ladder, type_index: int) -> None:
         self.ladder = ladder
         self.type_index = type_index
-        self.pool = IndexedPool(
-            "FF", type_index, ladder.capacity(type_index), budget=None
-        )
         self.state = FleetState()
+        self.pool = IndexedPool(
+            "FF", type_index, ladder.capacity(type_index), budget=None,
+            stats=self.state.stats,
+        )
 
     def on_arrival(self, job: JobView) -> MachineKey:
         """First-Fit on the pool of this type."""

@@ -48,6 +48,7 @@ class GeneralOnlineScheduler:
         self.state = FleetState()
         self.group_a: dict[int, IndexedPool] = {}
         self.group_b: dict[int, IndexedPool] = {}
+        stats = self.state.stats  # fleet-wide probe accounting
         for j in range(1, ladder.m + 1):
             parent = self.forest.parent[j]
             if parent is None:
@@ -57,8 +58,12 @@ class GeneralOnlineScheduler:
                     ladder, j, parent, self.forest.num_children(parent)
                 )
             g = ladder.capacity(j)
-            self.group_a[j] = IndexedPool("A", j, g, size_limit=g / 2.0, budget=budget)
-            self.group_b[j] = IndexedPool("B", j, g, budget=budget, single_job=True)
+            self.group_a[j] = IndexedPool(
+                "A", j, g, size_limit=g / 2.0, budget=budget, stats=stats
+            )
+            self.group_b[j] = IndexedPool(
+                "B", j, g, budget=budget, single_job=True, stats=stats
+            )
 
     def on_arrival(self, job: JobView) -> MachineKey:
         """Walk the job up its class's root path through the A/B pools."""

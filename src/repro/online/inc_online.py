@@ -23,7 +23,10 @@ class IncOnlineScheduler:
         self.ladder = ladder
         self.state = FleetState()
         self.pools = {
-            i: IndexedPool(f"class{i}", i, ladder.capacity(i), budget=None)
+            i: IndexedPool(
+                f"class{i}", i, ladder.capacity(i), budget=None,
+                stats=self.state.stats,
+            )
             for i in range(1, ladder.m + 1)
         }
 

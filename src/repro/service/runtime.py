@@ -159,6 +159,7 @@ class SchedulerRuntime:
         "_machine_open",
         "_busy_by_type",
         "_log",
+        "_placement_stats",
     )
 
     def __init__(
@@ -189,6 +190,11 @@ class SchedulerRuntime:
         self._machine_open: dict[MachineKey, int] = {}
         self._busy_by_type: dict[int, int] = {}
         self._log: list[dict] = []
+        # schedulers built on IndexedPool expose fleet-wide probe counters
+        # through their FleetState; others (custom/test doubles) opt out
+        self._placement_stats = getattr(
+            getattr(scheduler, "state", None), "stats", None
+        )
 
     @classmethod
     def create(
@@ -304,13 +310,20 @@ class SchedulerRuntime:
                 return Admission(uid=uid, accepted=False, machine=None,
                                  reason=reason, latency_s=0.0)
 
-        # observability only: the latency histogram never feeds scheduler
-        # decisions or checkpoint state, so replay stays byte-identical.
+        # observability only: the latency histogram and probe counters never
+        # feed scheduler decisions or checkpoint state, so replay stays
+        # byte-identical.
+        stats = self._placement_stats
+        probes_before = stats.probes if stats is not None else 0
         t0 = time.perf_counter()  # bshm: ignore[BSHM004]
         key = self.scheduler.on_arrival(view)
         latency = time.perf_counter() - t0  # bshm: ignore[BSHM004]
         if not isinstance(key, MachineKey):
             raise TypeError("scheduler must return a MachineKey")
+        if stats is not None:
+            depth = stats.probes - probes_before
+            self.metrics.counter("placement_probes").inc(depth)
+            self.metrics.histogram("probe_depth").observe(depth)
 
         self._open[uid] = (view.size, arrival, view.name, key)
         n_on_machine = self._machine_open.get(key, 0) + 1

@@ -90,6 +90,35 @@ class TestIndexedPool:
         assert pool.busy_count() == 2
 
 
+class TestPlacementStats:
+    def test_probes_accumulate_across_shared_pools(self):
+        state = FleetState()
+        a = IndexedPool("A", 1, capacity=2.0, budget=None, stats=state.stats)
+        b = IndexedPool("B", 1, capacity=2.0, budget=None, stats=state.stats)
+        a.first_fit(1, 1.0)
+        b.first_fit(2, 1.0)
+        assert state.stats.decisions == 2
+        assert a.stats is b.stats is state.stats
+
+    def test_reference_counts_scanned_machines(self):
+        pool = IndexedPool("A", 1, capacity=1.0, budget=None)
+        for uid in range(4):
+            pool.first_fit_reference(uid, 1.0)  # each opens a fresh machine
+        before = pool.stats.probes
+        pool.first_fit_reference(9, 1.0)
+        # the fifth call scanned all four full machines before opening
+        assert pool.stats.probes - before == 4
+
+    def test_busy_count_live_under_direct_release(self):
+        pool = IndexedPool("A", 1, capacity=1.0, budget=None)
+        machines = [pool.first_fit(uid, 1.0) for uid in range(3)]
+        assert pool.busy_count() == 3
+        machines[1].release(1)  # bypasses FleetState on purpose
+        assert pool.busy_count() == 2
+        # the freed machine is found again via the free-slot heap
+        assert pool.first_fit(7, 1.0) is machines[1]
+
+
 class TestFleetState:
     def test_depart_unknown_raises(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,117 @@
+"""Unit tests for the O(log n) placement index structures."""
+
+import math
+
+import pytest
+
+from repro.machines.placement_index import (
+    INFINITE_LOAD,
+    FreeSlotHeap,
+    MinLoadSegmentTree,
+)
+
+
+class TestMinLoadSegmentTree:
+    def test_empty_tree_never_fits(self):
+        tree = MinLoadSegmentTree()
+        slot, probes = tree.leftmost_fit(0.1, 1.0 + 1e-9)
+        assert slot is None
+        assert probes == 1
+        assert tree.min_load() == INFINITE_LOAD
+
+    def test_leftmost_wins_over_better_fit(self):
+        tree = MinLoadSegmentTree()
+        for load in (0.9, 0.2, 0.0):
+            tree.append(load)
+        # size 0.1 fits all three; First-Fit takes slot 0, not the emptiest
+        slot, _ = tree.leftmost_fit(0.1, 1.0 + 1e-9)
+        assert slot == 0
+        # size 0.5 skips slot 0 (0.9 + 0.5 > 1), lands on slot 1
+        slot, _ = tree.leftmost_fit(0.5, 1.0 + 1e-9)
+        assert slot == 1
+
+    def test_set_updates_answers(self):
+        tree = MinLoadSegmentTree()
+        for load in (0.5, 0.5, 0.5):
+            tree.append(load)
+        assert tree.leftmost_fit(0.6, 1.0 + 1e-9)[0] is None
+        tree.set(1, 0.1)
+        assert tree.leftmost_fit(0.6, 1.0 + 1e-9)[0] == 1
+        tree.set(1, INFINITE_LOAD)
+        assert tree.leftmost_fit(0.6, 1.0 + 1e-9)[0] is None
+        assert tree.get(0) == 0.5
+
+    def test_growth_preserves_loads(self):
+        tree = MinLoadSegmentTree()
+        loads = [float(i % 7) / 10.0 for i in range(100)]
+        for load in loads:
+            tree.append(load)
+        assert len(tree) == 100
+        for slot, load in enumerate(loads):
+            assert tree.get(slot) == load
+        # leftmost with load 0.0 is slot 0 (0 % 7 == 0)
+        assert tree.leftmost_fit(1.0, 1.0 + 1e-9)[0] == 0
+
+    def test_probe_count_is_logarithmic(self):
+        tree = MinLoadSegmentTree()
+        for _ in range(1024):
+            tree.append(0.0)
+        _, probes = tree.leftmost_fit(0.5, 1.0 + 1e-9)
+        assert probes <= 1 + math.ceil(math.log2(1024))
+
+    def test_out_of_range_slots_raise(self):
+        tree = MinLoadSegmentTree()
+        tree.append(0.0)
+        with pytest.raises(IndexError):
+            tree.set(1, 0.5)
+        with pytest.raises(IndexError):
+            tree.get(-1)
+
+    def test_matches_linear_scan_on_dense_updates(self):
+        """Differential micro-oracle: tree vs scan over scripted updates."""
+        tree = MinLoadSegmentTree()
+        loads: list[float] = []
+        cap_tol = 1.0 + 1e-9
+
+        def scan(size: float):
+            for i, load in enumerate(loads):
+                if load + size <= cap_tol:
+                    return i
+            return None
+
+        script = [0.3, 0.8, 0.05, 1.0, 0.55, 0.2, 0.95, 0.0]
+        for load in script:
+            tree.append(load)
+            loads.append(load)
+        for size in (0.01, 0.2, 0.5, 0.7, 0.96, 1.0, 2.0):
+            assert tree.leftmost_fit(size, cap_tol)[0] == scan(size)
+        for slot, new in ((1, 0.0), (0, 0.99), (7, INFINITE_LOAD), (3, 0.45)):
+            tree.set(slot, new)
+            loads[slot] = new
+            for size in (0.01, 0.2, 0.5, 0.7, 0.96, 1.0, 2.0):
+                assert tree.leftmost_fit(size, cap_tol)[0] == scan(size)
+
+
+class TestFreeSlotHeap:
+    def test_lowest_slot_first(self):
+        heap = FreeSlotHeap()
+        for slot in (5, 1, 3):
+            heap.push(slot)
+        assert heap.peek(lambda s: True)[0] == 1
+        assert heap.pop() == 1
+        assert heap.peek(lambda s: True)[0] == 3
+
+    def test_lazy_invalidation_discards_stale_tops(self):
+        heap = FreeSlotHeap()
+        for slot in (0, 1, 2):
+            heap.push(slot)
+        free = {2}
+        slot, probes = heap.peek(lambda s: s in free)
+        assert slot == 2
+        assert probes == 3  # inspected (and discarded) 0 and 1 on the way
+        assert len(heap) == 1  # stale entries are gone for good
+
+    def test_empty_heap(self):
+        heap = FreeSlotHeap()
+        assert heap.peek(lambda s: True) == (None, 0)
+        assert len(heap) == 0

@@ -207,6 +207,42 @@ class TestMetricsSampling:
         assert hist.count == 2
         assert hist.min >= 0.0
 
+    def test_placement_probes_sampled_per_decision(self, dec3):
+        rt = SchedulerRuntime(DecOnlineScheduler(dec3))
+        a = rt.submit(0.5, 0.0)
+        rt.submit(0.5, 0.5)
+        counter = rt.metrics.counter("placement_probes")
+        hist = rt.metrics.histogram("probe_depth")
+        assert hist.count == 2  # one observation per accepted decision
+        assert counter.value >= 1  # at least one index probe happened
+        assert counter.value == rt.scheduler.state.stats.probes
+        # probes accumulate only on submit; departures don't probe
+        before = counter.value
+        rt.depart(a.uid, 1.0)
+        assert counter.value == before
+
+    def test_rejected_jobs_observe_no_probe_depth(self, dec3):
+        rt = SchedulerRuntime(
+            DecOnlineScheduler(dec3), admission=["fits-ladder"]
+        )
+        big = dec3.capacity(dec3.m) * 10
+        assert not rt.submit(big, 0.0).accepted
+        assert rt.metrics.histogram("probe_depth").count == 0
+
+    def test_schedulers_without_stats_skip_probe_metrics(self, dec3):
+        class Opaque:
+            ladder = dec3
+
+            def on_arrival(self, view):
+                return MachineKey(1, ("solo", view.uid))
+
+            def on_departure(self, uid):
+                return None
+
+        rt = SchedulerRuntime(Opaque())
+        rt.submit(0.5, 0.0)
+        assert "placement_probes" not in rt.metrics.names()
+
     def test_make_scheduler_unknown_name(self, dec3):
         with pytest.raises(ValueError, match="unknown scheduler"):
             make_scheduler("magic", dec3)

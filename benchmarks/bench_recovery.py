@@ -1,0 +1,164 @@
+"""Crash-recovery benchmark: snapshot+delta restore vs full-trace replay.
+
+The WAL's compaction exists so a restarted service does not pay O(all
+events ever) to come back.  This benchmark drives a 25k-job (50k-event)
+workload through a WAL-backed runtime with periodic compaction, then
+measures three restore paths to the same state:
+
+- ``full_replay`` — event-sourced :func:`replay_trace` over the complete
+  trace (the pre-WAL baseline),
+- ``wal_recover`` — :func:`repro.service.wal.recover`: latest snapshot +
+  O(delta) segment replay,
+- ``state_restore`` — the raw :func:`restore_state` with no delta at all
+  (the floor ``wal_recover`` approaches right after a compaction).
+
+Entry points:
+
+- ``python benchmarks/bench_recovery.py`` writes ``BENCH_recovery.json``
+  at the repo root and **fails** (exit 1) if ``wal_recover`` is not at
+  least :data:`MIN_SPEEDUP`× faster than ``full_replay`` or recovers to a
+  different assignment digest.
+- ``pytest benchmarks/bench_recovery.py`` re-checks the committed JSON
+  (CI guardrail) and smokes a scaled-down run end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import dec_ladder, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import assignment_digest, replay_trace, write_trace
+from repro.service.runtime import SchedulerRuntime
+from repro.service.state import capture_state, restore_state
+from repro.service.wal import WALWriter, recover
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_recovery.json"
+
+N_JOBS = 25_000  # 50k events: one submit + one depart per job
+SEED = 2026
+COMPACT_EVERY = 2_000
+MIN_SPEEDUP = 5.0
+
+
+def make_instance(n: int = N_JOBS, seed: int = SEED):
+    ladder = dec_ladder(3)
+    rng = np.random.default_rng(seed)
+    jobs = uniform_workload(n, rng, max_size=ladder.capacity(3))
+    return ladder, jobs
+
+
+def drive_with_wal(runtime: SchedulerRuntime, wal: WALWriter, jobs) -> None:
+    for ev in event_stream(jobs):
+        if ev.kind is EventKind.ARRIVE:
+            runtime.submit(ev.job.size, ev.job.arrival, name=ev.job.name,
+                           uid=ev.job.uid)
+        else:
+            runtime.depart(ev.job.uid, ev.job.departure)
+        wal.append_new()
+
+
+def run_suite(n: int = N_JOBS, compact_every: int = COMPACT_EVERY) -> dict:
+    ladder, jobs = make_instance(n)
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_dir = Path(tmp) / "wal"
+        trace_path = Path(tmp) / "run.jsonl"
+        runtime = SchedulerRuntime.create("dec", ladder, admission=["fits-ladder"])
+        wal = WALWriter(
+            wal_dir, runtime, fsync="never",  # measure restore, not disk sync
+            segment_records=4_096, compact_every=compact_every,
+        )
+        t0 = time.perf_counter()
+        drive_with_wal(runtime, wal, jobs)
+        stream_s = time.perf_counter() - t0
+        wal.sync()
+        wal.close()
+        write_trace(runtime, trace_path)
+        digest = assignment_digest(runtime)
+
+        t0 = time.perf_counter()
+        replayed = replay_trace(trace_path)
+        full_replay_s = time.perf_counter() - t0
+        assert assignment_digest(replayed) == digest, "full replay diverged"
+
+        t0 = time.perf_counter()
+        recovered = recover(wal_dir)
+        wal_recover_s = time.perf_counter() - t0
+        assert assignment_digest(recovered.runtime) == digest, "recovery diverged"
+        assert recovered.runtime.cost() == runtime.cost()
+
+        state = capture_state(runtime)
+        t0 = time.perf_counter()
+        restored = restore_state(state)
+        state_restore_s = time.perf_counter() - t0
+        assert assignment_digest(restored) == digest
+
+        return {
+            "n_jobs": n,
+            "events": runtime.n_events,
+            "compact_every": compact_every,
+            "stream_total_ms": round(stream_s * 1e3, 3),
+            "delta_events_replayed": recovered.replayed,
+            "full_replay_ms": round(full_replay_s * 1e3, 3),
+            "wal_recover_ms": round(wal_recover_s * 1e3, 3),
+            "state_restore_ms": round(state_restore_s * 1e3, 3),
+            "speedup_vs_full_replay": round(full_replay_s / wal_recover_s, 2),
+            "digest_match": True,
+            "assignment_sha256": digest,
+        }
+
+
+def main() -> int:
+    row = run_suite()
+    payload = {
+        "workload": {"n_jobs": N_JOBS, "ladder": "dec(3)", "seed": SEED},
+        "min_speedup": MIN_SPEEDUP,
+        "recovery": row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"streamed {row['events']} events in {row['stream_total_ms']:.0f}ms "
+          f"(compact every {row['compact_every']})")
+    print(f"full-trace replay: {row['full_replay_ms']:.1f}ms")
+    print(f"wal recover (snapshot + {row['delta_events_replayed']} delta): "
+          f"{row['wal_recover_ms']:.1f}ms  "
+          f"({row['speedup_vs_full_replay']:.1f}x)")
+    print(f"pure state restore: {row['state_restore_ms']:.1f}ms")
+    if row["speedup_vs_full_replay"] < MIN_SPEEDUP:
+        print(f"FAIL: recovery speedup below the {MIN_SPEEDUP}x floor")
+        return 1
+    print(f"OK: >= {MIN_SPEEDUP}x; written to {OUTPUT.name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI guardrails)
+# ---------------------------------------------------------------------------
+
+def test_committed_bench_meets_speedup_floor():
+    """The committed BENCH_recovery.json records the acceptance run."""
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["workload"]["n_jobs"] == N_JOBS
+    row = payload["recovery"]
+    assert row["events"] == 2 * N_JOBS
+    assert row["digest_match"] is True
+    assert row["speedup_vs_full_replay"] >= payload["min_speedup"]
+    assert row["delta_events_replayed"] < row["compact_every"]
+
+
+def test_recovery_smoke_2k():
+    """CI smoke: the scaled-down suite recovers digest-identically (the
+    speedup floor is only enforced at full scale)."""
+    row = run_suite(2_000, compact_every=500)
+    assert row["digest_match"] is True
+    assert row["delta_events_replayed"] < 500
+
+
+if __name__ == "__main__":
+    sys.exit(main())

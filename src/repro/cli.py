@@ -289,6 +289,11 @@ def _cmd_serve(
     m: int,
     max_active: int | None,
     trace_out: str | None,
+    wal_dir: str | None,
+    fsync: str,
+    compact_every: int,
+    max_inflight: int,
+    read_timeout: float | None,
 ) -> int:
     import asyncio
 
@@ -297,6 +302,7 @@ def _cmd_serve(
     from .machines.ladder import Regime
     from .service.runtime import SCHEDULER_REGISTRY, SchedulerRuntime
     from .service.server import serve_forever
+    from .service.wal import WALError, WALWriter, recover
 
     failed = _fail(
         _input_error(ladder_path, "ladder CSV") if ladder_path else None,
@@ -331,24 +337,61 @@ def _cmd_serve(
     admission: list[str | tuple[str, int]] = ["fits-ladder"]
     if max_active is not None:
         admission.append(("max-active", max_active))
-    runtime = SchedulerRuntime.create(scheduler, ladder, admission=admission)
+
+    runtime = None
+    if wal_dir and Path(wal_dir).is_dir() and (
+        any(Path(wal_dir).glob("wal-*.log"))
+        or any(Path(wal_dir).glob("snapshot-*.json"))
+    ):
+        try:
+            recovered = recover(wal_dir)
+        except WALError as exc:
+            return _fail(f"cannot recover WAL {wal_dir!r}: {exc}")
+        runtime = recovered.runtime
+        print(
+            f"bshm serve: recovered {recovered.describe()} from {wal_dir} "
+            "(scheduler/ladder flags superseded by the recovered config)",
+            flush=True,
+        )
+    if runtime is None:
+        runtime = SchedulerRuntime.create(scheduler, ladder, admission=admission)
+    wal = None
+    if wal_dir:
+        try:
+            wal = WALWriter(
+                wal_dir, runtime, fsync=fsync, compact_every=compact_every
+            )
+        except WALError as exc:
+            return _fail(f"cannot open WAL {wal_dir!r}: {exc}")
+
+    live_scheduler = runtime.config["scheduler"] if runtime.config else scheduler
+    live_ladder = runtime.ladder
 
     def ready(bound_host: str, bound_port: int) -> None:
+        durability = f", wal={wal_dir} fsync={fsync}" if wal_dir else ""
         print(
-            f"bshm serve: {scheduler} scheduler on {ladder.regime.value} "
-            f"ladder (m={ladder.m}), listening on {bound_host}:{bound_port}",
+            f"bshm serve: {live_scheduler} scheduler on "
+            f"{live_ladder.regime.value} ladder (m={live_ladder.m})"
+            f"{durability}, listening on {bound_host}:{bound_port}",
             flush=True,
         )
 
     try:
-        asyncio.run(serve_forever(runtime, host, port, on_ready=ready))
+        asyncio.run(serve_forever(
+            runtime, host, port, wal=wal, max_inflight=max_inflight,
+            read_timeout=read_timeout, on_ready=ready,
+        ))
     except KeyboardInterrupt:
         print("interrupted", flush=True)
     if trace_out:
-        from .service.checkpoint import write_trace
+        from .service.checkpoint import CheckpointError, write_trace
 
-        write_trace(runtime, trace_out)
-        print(f"trace ({runtime.n_events} events) written to {trace_out}")
+        try:
+            write_trace(runtime, trace_out)
+        except CheckpointError as exc:
+            print(f"trace not written: {exc}")
+        else:
+            print(f"trace ({runtime.n_events} events) written to {trace_out}")
     print(
         f"served {runtime.n_events} events; final cost {runtime.cost():.4f}, "
         f"{runtime.n_active} jobs still active"
@@ -356,12 +399,32 @@ def _cmd_serve(
     return 0
 
 
+def _cmd_recover(wal_dir: str) -> int:
+    from .service.checkpoint import assignment_digest
+    from .service.wal import WALError, recover
+
+    try:
+        recovered = recover(wal_dir)
+    except WALError as exc:
+        return _fail(f"cannot recover WAL {wal_dir!r}: {exc}")
+    runtime = recovered.runtime
+    clock = runtime.clock
+    print(f"bshm recover: {recovered.describe()}")
+    print(
+        f"clock {clock:g}; {runtime.n_active} active job(s); "
+        f"cost {runtime.cost():.6f}"
+    )
+    print(f"assignment sha256: {assignment_digest(runtime)}")
+    return 0
+
+
 def _cmd_replay(
-    trace: str, checkpoint_out: str | None, verify: bool
+    trace: str, checkpoint_out: str | None, verify: bool, to: str | None
 ) -> int:
     from .online.engine import run_online
     from .service.checkpoint import (
         CheckpointError,
+        read_trace,
         replay_trace,
         write_checkpoint,
     )
@@ -373,6 +436,25 @@ def _cmd_replay(
     )
     if failed:
         return failed
+    if to:
+        from .service.client import ClientError, RetryingClient, replay_events
+
+        host, _, port_text = to.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return _fail(f"--to must be HOST:PORT, got {to!r}")
+        try:
+            _header, events = read_trace(trace)
+        except CheckpointError as exc:
+            return _fail(f"cannot replay {trace!r}: {exc}")
+        try:
+            with RetryingClient(host or "127.0.0.1", port) as client:
+                applied = replay_events(client, events)
+        except (ClientError, OSError) as exc:
+            return _fail(f"replay to {to} failed: {exc}")
+        print(f"replayed {applied} events to {to} (retries with backoff)")
+        return 0
     try:
         runtime = replay_trace(trace)
     except CheckpointError as exc:
@@ -556,6 +638,27 @@ def main(argv: list[str] | None = None) -> int:
     serve_p.add_argument("--m", type=int, default=3, help="ladder size for --ladder-kind")
     serve_p.add_argument("--max-active", type=int, default=None, help="admission cap on concurrently active jobs")
     serve_p.add_argument("--trace-out", help="record the session trace here on shutdown")
+    serve_p.add_argument("--wal", dest="wal_dir", help="write-ahead log directory (recovers it if non-empty)")
+    serve_p.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default="batch",
+        help="WAL durability policy (default: batch)",
+    )
+    serve_p.add_argument(
+        "--compact-every", type=int, default=512,
+        help="snapshot+prune the WAL every N events (0 disables; default 512)",
+    )
+    serve_p.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="load-shedding threshold on in-flight requests (default 64)",
+    )
+    serve_p.add_argument(
+        "--read-timeout", type=float, default=None,
+        help="per-connection idle read timeout in seconds (default: none)",
+    )
+    recover_p = sub.add_parser(
+        "recover", help="rebuild state from a WAL directory and report it"
+    )
+    recover_p.add_argument("wal_dir", help="WAL directory written by bshm serve --wal")
     replay_p = sub.add_parser("replay", help="re-execute a recorded service trace")
     replay_p.add_argument("trace", help="trace JSONL recorded by the service")
     replay_p.add_argument("--checkpoint", dest="checkpoint_out", help="write a checkpoint JSON here")
@@ -563,6 +666,10 @@ def main(argv: list[str] | None = None) -> int:
         "--verify",
         action="store_true",
         help="assert the streaming cost equals a batch run_online of the same jobs",
+    )
+    replay_p.add_argument(
+        "--to",
+        help="HOST:PORT of a live server; stream the trace over TCP with retry/backoff",
     )
     lint_p = sub.add_parser("lint", help="sanity-check a job trace (and catalogue)")
     lint_p.add_argument("trace", help="job trace CSV (size,arrival,departure[,name])")
@@ -612,9 +719,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(
             args.host, args.port, args.scheduler, args.ladder_path,
             args.ladder_kind, args.m, args.max_active, args.trace_out,
+            args.wal_dir, args.fsync, args.compact_every,
+            args.max_inflight, args.read_timeout,
         )
+    if args.command == "recover":
+        return _cmd_recover(args.wal_dir)
     if args.command == "replay":
-        return _cmd_replay(args.trace, args.checkpoint_out, args.verify)
+        return _cmd_replay(args.trace, args.checkpoint_out, args.verify, args.to)
     if args.command == "lint":
         return _cmd_lint(args.trace, args.ladder_path)
     if args.command == "check":

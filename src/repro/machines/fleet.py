@@ -195,6 +195,46 @@ class IndexedPool:
         machine.admit(uid, size)
         return machine
 
+    # -- state snapshot support ---------------------------------------------
+    def export_machines(self) -> list[dict]:
+        """JSON-safe state of every materialized machine, in slot order.
+
+        Together with the pool's constructor arguments this is the pool's
+        entire mutable state: the indexes (tree, heap, busy counter) are
+        derived and rebuilt by :meth:`restore_machines`.  Loads are exported
+        verbatim — they carry float add/remove history that a recomputation
+        from resident sizes would not reproduce bit-identically.
+        """
+        return [
+            {
+                "load": machine.load,
+                "resident": [[uid, size] for uid, size in machine.resident.items()],
+            }
+            for machine in self.machines
+        ]
+
+    def restore_machines(self, states: list[dict]) -> None:
+        """Rebuild the machine list and all placement indexes from
+        :meth:`export_machines` output.  The pool must be empty.
+
+        Future ``first_fit`` decisions depend only on the machines' loads,
+        slot order and emptiness — all restored exactly here — so a restored
+        pool places the same jobs on the same machines as the original.
+        """
+        if self.machines:
+            raise ValueError("restore_machines requires an empty pool")
+        for state in states:
+            machine = self._open_machine()
+            resident = state["resident"]
+            if resident:
+                for uid, size in resident:
+                    machine.resident[int(uid)] = float(size)
+                machine.load = float(state["load"])
+                slot = machine._slot
+                if self._tree is not None:
+                    self._tree.set(slot, machine.load)
+                self._busy += 1
+
     def first_fit_reference(self, uid: int, size: float) -> OnlineMachine | None:
         """The pre-index O(machines) linear scan, kept as the differential
         oracle for :meth:`first_fit` (test/bench only — BSHM003)."""

@@ -99,6 +99,14 @@ class DecOnlineScheduler:
         """Release the departed job's capacity."""
         self.state.depart(uid)
 
+    def iter_pools(self) -> list[tuple[str, IndexedPool]]:
+        """Labelled pools in a fixed order (state-snapshot contract)."""
+        out: list[tuple[str, IndexedPool]] = []
+        for i in range(1, self.ladder.m + 1):
+            out.append((f"A{i}", self.group_a[i]))
+            out.append((f"B{i}", self.group_b[i]))
+        return out
+
     # -- internals ---------------------------------------------------------
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):

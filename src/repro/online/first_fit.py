@@ -41,3 +41,7 @@ class FirstFitScheduler:
     def on_departure(self, uid: int) -> None:
         """Release the departed job's capacity."""
         self.state.depart(uid)
+
+    def iter_pools(self) -> list[tuple[str, IndexedPool]]:
+        """Labelled pools in a fixed order (state-snapshot contract)."""
+        return [("FF", self.pool)]

@@ -86,6 +86,14 @@ class GeneralOnlineScheduler:
         """Release the departed job's capacity."""
         self.state.depart(uid)
 
+    def iter_pools(self) -> list[tuple[str, IndexedPool]]:
+        """Labelled pools in a fixed order (state-snapshot contract)."""
+        out: list[tuple[str, IndexedPool]] = []
+        for j in range(1, self.ladder.m + 1):
+            out.append((f"A{j}", self.group_a[j]))
+            out.append((f"B{j}", self.group_b[j]))
+        return out
+
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):
             if size <= self.ladder.capacity(i) * (1 + 1e-12):

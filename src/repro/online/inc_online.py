@@ -41,6 +41,10 @@ class IncOnlineScheduler:
         """Release the departed job's capacity."""
         self.state.depart(uid)
 
+    def iter_pools(self) -> list[tuple[str, IndexedPool]]:
+        """Labelled pools in a fixed order (state-snapshot contract)."""
+        return [(f"class{i}", self.pools[i]) for i in range(1, self.ladder.m + 1)]
+
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):
             if size <= self.ladder.capacity(i) * (1 + 1e-12):

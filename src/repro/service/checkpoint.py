@@ -43,6 +43,7 @@ __all__ = [
     "CheckpointError",
     "TRACE_VERSION",
     "CHECKPOINT_VERSION",
+    "assignment_digest",
     "record_trace",
     "write_trace",
     "read_trace",
@@ -81,20 +82,25 @@ def _ladder_from_config(pairs: Iterable[Sequence[float]]) -> Ladder:
 
 
 def _apply_event(runtime: SchedulerRuntime, event: dict) -> None:
+    if not isinstance(event, dict):
+        raise CheckpointError(f"event must be a JSON object, got {type(event).__name__}")
     op = event.get("op")
-    if op == "submit":
-        runtime.submit(
-            event["size"], event["t"], name=event.get("name"), uid=event["uid"]
-        )
-    elif op == "depart":
-        runtime.depart(event["uid"], event["t"])
-    elif op == "advance":
-        runtime.advance(event["t"])
-    else:
-        raise CheckpointError(f"unknown trace op {op!r}")
+    try:
+        if op == "submit":
+            runtime.submit(
+                event["size"], event["t"], name=event.get("name"), uid=event["uid"]
+            )
+        elif op == "depart":
+            runtime.depart(event["uid"], event["t"])
+        elif op == "advance":
+            runtime.advance(event["t"])
+        else:
+            raise CheckpointError(f"unknown trace op {op!r}")
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed {op!r} event: {exc!r}") from exc
 
 
-def _assignment_digest(runtime: SchedulerRuntime) -> str:
+def assignment_digest(runtime: SchedulerRuntime) -> str:
     """SHA-256 over the canonical uid -> machine mapping (open + closed)."""
     mapping = {}
     for uid in runtime.active_uids():
@@ -109,8 +115,18 @@ def _assignment_digest(runtime: SchedulerRuntime) -> str:
 # traces
 # ---------------------------------------------------------------------------
 
+def _require_history(runtime: SchedulerRuntime) -> None:
+    if runtime.history_truncated:
+        raise CheckpointError(
+            "runtime was restored from a state snapshot; its full event "
+            "history lives in the WAL directory, not in memory (use "
+            "repro.service.wal for durable snapshots of such runtimes)"
+        )
+
+
 def record_trace(runtime: SchedulerRuntime) -> list[str]:
     """The run so far as canonical JSON lines (header first)."""
+    _require_history(runtime)
     header = {
         "kind": "header",
         "version": TRACE_VERSION,
@@ -127,7 +143,10 @@ def write_trace(runtime: SchedulerRuntime, path: str | Path) -> None:
 def read_trace(source: str | Path | Iterable[str]) -> tuple[dict, list[dict]]:
     """Parse a trace into ``(header, events)``; validates the version."""
     if isinstance(source, (str, Path)):
-        lines = Path(source).read_text().splitlines()
+        try:
+            lines = Path(source).read_text().splitlines()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read trace {source}: {exc}") from exc
     else:
         lines = [ln for ln in source]
     lines = [ln for ln in lines if ln.strip()]
@@ -138,6 +157,11 @@ def read_trace(source: str | Path | Iterable[str]) -> tuple[dict, list[dict]]:
         events = [json.loads(ln) for ln in lines[1:]]
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"malformed trace line: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CheckpointError("trace header must be a JSON object")
+    for event in events:
+        if not isinstance(event, dict):
+            raise CheckpointError("trace events must be JSON objects")
     if header.get("kind") != "header":
         raise CheckpointError("trace must start with a header line")
     version = header.get("version")
@@ -185,13 +209,14 @@ def _runtime_from_config(
 
 def snapshot(runtime: SchedulerRuntime) -> dict:
     """Self-verifying snapshot of the runtime (JSON-safe dict)."""
+    _require_history(runtime)
     clock = runtime.clock
     state = {
         "clock": None if not math.isfinite(clock) else clock,
         "n_events": runtime.n_events,
         "cost": runtime.cost(),
         "active": runtime.active_uids(),
-        "assignment_sha256": _assignment_digest(runtime),
+        "assignment_sha256": assignment_digest(runtime),
     }
     return {
         "version": CHECKPOINT_VERSION,
@@ -206,6 +231,8 @@ def restore(
 ) -> SchedulerRuntime:
     """Rebuild a runtime from a snapshot and verify it reproduces the
     recorded derived state exactly (raises :class:`CheckpointError` if not)."""
+    if not isinstance(snap, dict):
+        raise CheckpointError("checkpoint must be a JSON object")
     version = snap.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
@@ -229,7 +256,7 @@ def restore(
         mismatches.append("active job set differs")
     if runtime.cost() != state.get("cost"):
         mismatches.append(f"cost {runtime.cost()!r} != {state.get('cost')!r}")
-    if _assignment_digest(runtime) != state.get("assignment_sha256"):
+    if assignment_digest(runtime) != state.get("assignment_sha256"):
         mismatches.append("assignment digest differs")
     if mismatches:
         raise CheckpointError(
@@ -246,9 +273,17 @@ def write_checkpoint(runtime: SchedulerRuntime, path: str | Path) -> None:
 def load_checkpoint(
     path: str | Path, *, metrics: "MetricsRegistry | None" = None
 ) -> SchedulerRuntime:
-    """Restore a runtime from a checkpoint file (with self-verification)."""
+    """Restore a runtime from a checkpoint file (with self-verification).
+
+    Raises :class:`CheckpointError` on unreadable, truncated or garbled
+    files and on unknown schema versions — never a bare traceback.
+    """
     try:
         snap = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
-        raise CheckpointError(f"malformed checkpoint {path}: {exc}") from exc
+        raise CheckpointError(
+            f"malformed or truncated checkpoint {path}: {exc}"
+        ) from exc
     return restore(snap, metrics=metrics)

@@ -1,0 +1,168 @@
+"""A retrying JSON-lines client for the scheduler service.
+
+``bshm replay --to`` streams a recorded trace into a live server; against
+a real network that means reconnects, shed requests and servers that are
+mid-drain.  :class:`RetryingClient` wraps one synchronous socket with the
+retry discipline the structured error taxonomy makes safe:
+
+- transport failures (reset, refused, EOF, garbled response) and
+  *retryable* error responses (``overloaded``, ``draining``) are retried
+  with exponential backoff, honouring any ``retry_after_ms`` hint;
+- non-retryable errors are returned to the caller untouched;
+- a retried ``submit`` that was already acked before a reconnect comes
+  back as ``duplicate-uid`` — :func:`replay_events` treats that as the
+  success it is (exactly-once effect from at-least-once delivery, because
+  every replayed submit carries an explicit uid).
+
+The ``sleep`` hook exists so tests can count and skip real delays.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import IO, Callable
+
+__all__ = ["ClientError", "RetryingClient", "replay_events"]
+
+
+class ClientError(RuntimeError):
+    """The request could not be completed within the retry budget."""
+
+
+class RetryingClient:
+    """One connection to a scheduler server, with retry + backoff."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_attempts: int = 6,
+        backoff_s: float = 0.05,
+        timeout_s: float = 10.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.host = host
+        self.port = port
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._fh: IO[bytes] | None = None
+
+    # -- connection management ----------------------------------------------
+    def _ensure(self) -> IO[bytes]:
+        if self._fh is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._fh = self._sock.makefile("rwb")
+        return self._fh
+
+    def _drop(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request; retry transport failures and retryable errors.
+
+        Returns the final response document (which may still be a
+        *non-retryable* error — the caller owns those semantics).  Raises
+        :class:`ClientError` when the retry budget is exhausted.
+        """
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        last_failure = "no attempt made"
+        for attempt in range(self.max_attempts):
+            delay = self.backoff_s * (2 ** attempt)
+            try:
+                fh = self._ensure()
+                fh.write(line)
+                fh.flush()
+                raw = fh.readline()
+                if not raw:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(raw)
+            except (OSError, ValueError) as exc:
+                # ValueError covers json.JSONDecodeError: a torn response
+                # means the connection is unusable, not that the op failed
+                self._drop()
+                last_failure = f"{type(exc).__name__}: {exc}"
+            else:
+                if not isinstance(response, dict):
+                    self._drop()
+                    last_failure = "non-object response"
+                else:
+                    error = response.get("error")
+                    if response.get("ok") or not isinstance(error, dict):
+                        return response
+                    if not error.get("retryable"):
+                        return response
+                    hint_ms = error.get("retry_after_ms")
+                    if isinstance(hint_ms, (int, float)):
+                        delay = max(delay, float(hint_ms) / 1e3)
+                    last_failure = f"retryable {error.get('code')}"
+            if attempt + 1 < self.max_attempts:
+                self._sleep(delay)
+        raise ClientError(
+            f"request {payload.get('op')!r} failed after "
+            f"{self.max_attempts} attempts (last: {last_failure})"
+        )
+
+
+def replay_events(client: RetryingClient, events: list[dict]) -> int:
+    """Feed recorded trace events into a live server; returns events applied.
+
+    Submits carry their recorded uid, so a retry that crossed a reconnect
+    may be answered with ``duplicate-uid`` — counted as applied (the first
+    delivery won).  Any other error response aborts with
+    :class:`ClientError`.
+    """
+    applied = 0
+    for event in events:
+        op = event.get("op")
+        request: dict = {"op": op, "t": event.get("t")}
+        if op == "submit":
+            request["size"] = event.get("size")
+            request["uid"] = event.get("uid")
+            if event.get("name") is not None:
+                request["name"] = event.get("name")
+        elif op == "depart":
+            request["uid"] = event.get("uid")
+        elif op != "advance":
+            raise ClientError(f"cannot replay unknown trace op {op!r}")
+        response = client.request(request)
+        if response.get("ok"):
+            applied += 1
+            continue
+        error = response.get("error")
+        code = error.get("code") if isinstance(error, dict) else None
+        if code == "duplicate-uid":
+            applied += 1  # the original delivery was acked; retry redundant
+            continue
+        raise ClientError(f"server rejected replayed event {event!r}: {error!r}")
+    return applied

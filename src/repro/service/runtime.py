@@ -159,6 +159,7 @@ class SchedulerRuntime:
         "_machine_open",
         "_busy_by_type",
         "_log",
+        "_log_base",
         "_placement_stats",
     )
 
@@ -190,6 +191,9 @@ class SchedulerRuntime:
         self._machine_open: dict[MachineKey, int] = {}
         self._busy_by_type: dict[int, int] = {}
         self._log: list[dict] = []
+        # events dropped from memory by a state-snapshot restore: the runtime
+        # then holds only the tail of its own history (the WAL holds the rest)
+        self._log_base = 0
         # schedulers built on IndexedPool expose fleet-wide probe counters
         # through their FleetState; others (custom/test doubles) opt out
         self._placement_stats = getattr(
@@ -242,16 +246,44 @@ class SchedulerRuntime:
 
     @property
     def n_events(self) -> int:
-        """Accepted stream calls so far (the event log length)."""
-        return len(self._log)
+        """Accepted stream calls so far (including any truncated history)."""
+        return self._log_base + len(self._log)
 
     @property
     def events(self) -> tuple[dict, ...]:
-        """The append-only event log (inputs only; decisions are derived)."""
+        """The in-memory event log (inputs only; decisions are derived).
+
+        After a state-snapshot restore this holds only events *since* the
+        snapshot — check :attr:`history_truncated` before treating it as the
+        full history (``record_trace``/``snapshot`` refuse in that case).
+        """
         return tuple(self._log)
+
+    @property
+    def history_truncated(self) -> bool:
+        """True when earlier events were dropped by a state-snapshot restore."""
+        return self._log_base > 0
+
+    def events_since(self, start: int) -> list[dict]:
+        """Events with stream index ``>= start`` (no full-log copy).
+
+        The WAL appender calls this per request, so it must be O(delta);
+        ``start`` below :attr:`history_truncated`'s base is unrecoverable.
+        """
+        if start < self._log_base:
+            raise ValueError(
+                f"events before index {self._log_base} were truncated by a "
+                f"state-snapshot restore (requested {start})"
+            )
+        return self._log[start - self._log_base:]
 
     def active_uids(self) -> list[int]:
         return sorted(self._open)
+
+    def knows_uid(self, uid: int) -> bool:
+        """True if a job with this uid was ever submitted (open, closed or
+        rejected) — the server's duplicate-submit guard."""
+        return int(uid) in self._used_uids
 
     def machine_of(self, uid: int) -> MachineKey:
         """Where a submitted (open or departed) job was placed."""

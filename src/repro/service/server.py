@@ -1,12 +1,12 @@
 """The asyncio JSON-lines scheduler server behind ``bshm serve``.
 
 Wire protocol: one JSON document per line in each direction.  Requests
-carry an ``op`` field; responses always carry ``ok`` (and ``error`` when
-``ok`` is false).  The scheduler state is a single
-:class:`~repro.service.runtime.SchedulerRuntime` shared by all
-connections (requests are handled one line at a time per connection, and
-the event loop serializes handlers, so the time-monotonicity contract is
-enforced globally).
+carry an ``op`` field; responses always carry ``ok``, and failed responses
+carry a structured ``error`` object — ``{"code", "message", "retryable",
+...}`` per the taxonomy in :mod:`repro.service.errors`.  The scheduler
+state is a single :class:`~repro.service.runtime.SchedulerRuntime` shared
+by all connections (handlers are synchronous, so the event loop serializes
+them and the time-monotonicity contract is enforced globally).
 
 Ops::
 
@@ -19,101 +19,280 @@ Ops::
     {"op": "schedule"}   -> {"ok": true, "cost", "jobs", "machines"}
     {"op": "checkpoint", "path"?: str}
         -> {"ok": true, "path": ...} or {"ok": true, "snapshot": {...}}
-    {"op": "shutdown"}   -> {"ok": true, "bye": true}   (server stops)
+    {"op": "shutdown"}   -> {"ok": true, "bye": true}   (graceful drain)
 
-Malformed lines and rejected calls produce ``{"ok": false, "error": ...}``
-without tearing down the connection; only ``shutdown`` (or cancellation)
-stops the server.
+Robustness properties (see ``docs/operations.md``):
+
+- **Durability.**  With a :class:`~repro.service.wal.WALWriter` attached,
+  every mutating request is applied to the runtime and appended to the WAL
+  *before* the acknowledgement is written, so an acked event is on the
+  durable prefix (subject to the fsync policy).  If the WAL cannot
+  persist, the request is answered with ``storage-error`` and the server
+  fail-stops via a drain — it never keeps acking writes it cannot make
+  durable.
+- **Overload shedding.**  At most ``max_inflight`` requests may be in
+  flight; beyond that, requests are answered immediately with the
+  retryable ``overloaded`` error (and a ``retry_after_ms`` hint) instead
+  of queueing without bound.
+- **Graceful drain.**  ``shutdown`` requests, SIGTERM and SIGINT all
+  trigger the same path: stop accepting connections, let in-flight
+  requests finish (new ones get the retryable ``draining`` error), fsync
+  the WAL and write a final snapshot, then disconnect.
+- **Connection hygiene.**  Reads are bounded in both time
+  (``read_timeout``) and size (``max_line_bytes``); clients that vanish
+  mid-exchange (``ConnectionResetError`` / ``BrokenPipeError``) are
+  cleaned up without touching the shared runtime.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import math
+import signal
 from typing import Callable
 
 from .checkpoint import snapshot, write_checkpoint
+from .errors import OverloadError, ServiceError
+from .faults import FaultInjector, InjectedFault
 from .runtime import AdmissionError, SchedulerRuntime
+from .wal import WALError, WALWriter
 
 __all__ = ["SchedulerServer", "serve_forever"]
+
+#: default cap on request line length (bytes), and on in-flight requests
+DEFAULT_MAX_LINE_BYTES = 1 << 16
+DEFAULT_MAX_INFLIGHT = 64
 
 
 class SchedulerServer:
     """One runtime exposed over newline-delimited JSON on TCP."""
 
-    def __init__(self, runtime: SchedulerRuntime) -> None:
+    def __init__(
+        self,
+        runtime: SchedulerRuntime,
+        *,
+        wal: WALWriter | None = None,
+        faults: FaultInjector | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        read_timeout: float | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.runtime = runtime
+        self.wal = wal
+        self._faults = faults
+        self._max_inflight = max_inflight
+        self._read_timeout = read_timeout
+        self._max_line_bytes = max_line_bytes
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
+        self._draining = False
+        self._drained = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        runtime.metrics.counter("shed_requests")  # visible at zero in stats
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Bind and start serving; returns the actual ``(host, port)``."""
-        self._server = await asyncio.start_server(self._handle, host, port)
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=self._max_line_bytes
+        )
         sock_host, sock_port = self._server.sockets[0].getsockname()[:2]
         return sock_host, sock_port
 
-    async def wait_shutdown(self) -> None:
-        """Block until a client sent ``shutdown``; then close the listener."""
-        await self._shutdown.wait()
-        await self.close()
+    def request_shutdown(self) -> None:
+        """Signal-safe trigger for a graceful drain (SIGTERM/SIGINT hook)."""
+        self._shutdown.set()
 
-    async def close(self) -> None:
+    async def wait_shutdown(self) -> None:
+        """Block until shutdown is requested, then drain gracefully."""
+        await self._shutdown.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests,
+        make the WAL durable (fsync + final snapshot), drop connections."""
+        if self._drained:
+            return
+        self._drained = True
+        self._draining = True
+        self._shutdown.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self._idle.wait()  # every accepted request has been answered
+        if self.wal is not None:
+            try:
+                self.wal.sync()
+                self.wal.compact()
+                self.wal.close()
+            except WALError:
+                # fail-stop path: durability already failed once; shutdown
+                # must still complete so the process can be restarted.
+                self.wal.abandon()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Alias kept for tests/tools: drain and release the listener."""
+        await self.drain()
 
     # -- request handling ---------------------------------------------------
-    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
-            while not self._shutdown.is_set():
-                line = await reader.readline()
-                if not line:
-                    break
-                response = self.handle_line(line.decode("utf-8", "replace"))
-                writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
-                await writer.drain()
-                if response.get("bye"):
-                    self._shutdown.set()
-                    break
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-exchange; shared state is untouched
+        except InjectedFault:
+            pass  # chaos harness severed this connection on purpose
+        except asyncio.CancelledError:
+            pass  # drain is force-dropping lingering connections
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover - client gone
-                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._shutdown.is_set():
+            try:
+                if self._read_timeout is not None:
+                    line = await asyncio.wait_for(
+                        reader.readline(), self._read_timeout
+                    )
+                else:
+                    line = await reader.readline()
+            except asyncio.TimeoutError:
+                await self._send(
+                    writer,
+                    ServiceError(
+                        "idle-timeout",
+                        f"no request within {self._read_timeout:g}s; closing",
+                    ).to_wire(),
+                )
+                return
+            except (asyncio.LimitOverrunError, ValueError):
+                # readline overran the stream limit; the tail of the
+                # oversized line is unrecoverable, so answer and hang up
+                await self._send(
+                    writer,
+                    ServiceError(
+                        "line-too-long",
+                        f"request exceeds {self._max_line_bytes} bytes",
+                    ).to_wire(),
+                )
+                return
+            if not line:
+                return
+            response = await self._respond(line.decode("utf-8", "replace"))
+            await self._send(writer, response)
+            if response.get("bye"):
+                self._shutdown.set()
+                return
+
+    async def _send(self, writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
+        await writer.drain()
+
+    async def _respond(self, line: str) -> dict:
+        """Admission guard + fault hook + handler + WAL, in ack order."""
+        if self._draining:
+            return ServiceError(
+                "draining", "server is shutting down; retry elsewhere"
+            ).to_wire()
+        if self._inflight >= self._max_inflight:
+            self.runtime.metrics.counter("shed_requests").inc()
+            return OverloadError(
+                f"{self._inflight} requests in flight (limit "
+                f"{self._max_inflight}); retry later"
+            ).to_wire()
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            if self._faults is not None:
+                await self._faults.apoint("server.request")
+            response = self.handle_line(line)
+            if self.wal is not None and response.get("ok"):
+                try:
+                    self.wal.append_new()
+                except WALError as exc:
+                    # the event is applied in memory but not durable: tell
+                    # the client it failed and fail-stop the service.
+                    asyncio.get_running_loop().call_soon(self._shutdown.set)
+                    self._draining = True
+                    return ServiceError(
+                        "storage-error", f"write-ahead log failed: {exc}"
+                    ).to_wire()
+            return response
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
 
     def handle_line(self, line: str) -> dict:
-        """Process one request line synchronously (also used by tests)."""
+        """Process one request line synchronously (also used by tests).
+
+        Never raises: every failure becomes a structured error response.
+        """
         if not line.strip():
-            return {"ok": False, "error": "empty request"}
+            return ServiceError("bad-request", "empty request").to_wire()
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
-            return {"ok": False, "error": f"malformed JSON: {exc}"}
+            return ServiceError("bad-request", f"malformed JSON: {exc}").to_wire()
         if not isinstance(request, dict):
-            return {"ok": False, "error": "request must be a JSON object"}
+            return ServiceError(
+                "bad-request", "request must be a JSON object"
+            ).to_wire()
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
-            return {"ok": False, "error": f"unknown op {op!r}"}
+            return ServiceError("unknown-op", f"unknown op {op!r}").to_wire()
         try:
             return handler(request)
+        except ServiceError as exc:
+            return exc.to_wire()
         except (AdmissionError, ValueError, TypeError, KeyError) as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            return ServiceError(
+                "invalid-request", f"{type(exc).__name__}: {exc}"
+            ).to_wire()
 
     # -- ops ----------------------------------------------------------------
     def _op_submit(self, request: dict) -> dict:
+        uid = request.get("uid")
+        if uid is not None and self.runtime.knows_uid(int(uid)):
+            # a redo of an acked submit (client retried across a reconnect);
+            # dedicated code so replaying clients can treat it as success
+            raise ServiceError(
+                "duplicate-uid",
+                f"job uid {int(uid)} was already submitted",
+                uid=int(uid),
+            )
         admission = self.runtime.submit(
             float(request["size"]),
             float(request["t"]),
             name=request.get("name"),
-            uid=request.get("uid"),
+            uid=uid,
         )
-        out = {"ok": True, "uid": admission.uid, "accepted": admission.accepted}
-        if admission.accepted:
+        out: dict = {"ok": True, "uid": admission.uid, "accepted": admission.accepted}
+        if admission.machine is not None:
             out["machine"] = str(admission.machine)
             out["type"] = admission.machine.type_index
         else:
@@ -162,20 +341,53 @@ class SchedulerServer:
         return {"ok": True, "bye": True}
 
 
+def _install_signal_handlers(
+    loop: asyncio.AbstractEventLoop, server: SchedulerServer
+) -> list[signal.Signals]:
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            continue
+        installed.append(sig)
+    return installed
+
+
 async def serve_forever(
     runtime: SchedulerRuntime,
     host: str = "127.0.0.1",
     port: int = 0,
     *,
+    wal: WALWriter | None = None,
+    faults: FaultInjector | None = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    read_timeout: float | None = None,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
-    """Start a server and run until a client requests shutdown.
+    """Start a server and run until shutdown (client op, SIGTERM or SIGINT),
+    then drain gracefully.
 
     ``on_ready(host, port)`` is called once the socket is bound — the CLI
     uses it to print the ephemeral port before blocking.
     """
-    server = SchedulerServer(runtime)
-    bound_host, bound_port = await server.start(host, port)
-    if on_ready is not None:
-        on_ready(bound_host, bound_port)
-    await server.wait_shutdown()
+    server = SchedulerServer(
+        runtime,
+        wal=wal,
+        faults=faults,
+        max_inflight=max_inflight,
+        read_timeout=read_timeout,
+        max_line_bytes=max_line_bytes,
+    )
+    loop = asyncio.get_running_loop()
+    installed = _install_signal_handlers(loop, server)
+    try:
+        bound_host, bound_port = await server.start(host, port)
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        await server.wait_shutdown()
+    finally:
+        for sig in installed:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(sig)

@@ -1,0 +1,218 @@
+"""Full-state snapshots of a :class:`SchedulerRuntime` — O(state) restore.
+
+The event-sourced checkpoints in :mod:`repro.service.checkpoint` rebuild a
+runtime by replaying its entire event log: exact, self-verifying, and O(n)
+in the life of the service.  This module serializes the runtime's *state*
+instead, so the write-ahead log can restore as latest-snapshot + O(delta)
+replay.
+
+What is captured is precisely the mutable state future behavior depends on:
+
+- the runtime's open/closed/rejected job tables, uid bookkeeping, clock and
+  the raw per-machine busy intervals of the cost accumulator;
+- per scheduler pool (via the ``iter_pools()`` contract on every registered
+  online scheduler), each materialized machine's resident-job map and its
+  **exact float load** — loads carry add/remove float history that a
+  recomputation from resident sizes would not reproduce bit-identically,
+  and ``OnlineMachine.fits`` compares against that exact value;
+- the deterministic metric counters (arrivals/departures/rejections) and
+  the fleet's probe accounting.
+
+Derived structures (min-load segment tree, free-slot heap, busy counters,
+gauges, memoized busy unions) are rebuilt, not stored.  A restored runtime
+is *placement-equivalent*: it makes bit-identical decisions on any future
+event stream — pinned by ``tests/service/test_state.py``.
+
+Like checkpoints, a state snapshot is self-verifying: it records the
+assignment digest, cost and clock at capture time and :func:`restore_state`
+re-derives and compares them, failing loudly on any drift.
+
+A state-restored runtime does **not** carry its full event history
+(:attr:`SchedulerRuntime.history_truncated` is then true) — the WAL owns
+history; ``record_trace``/``snapshot`` refuse rather than emit a lie.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..jobs.job import Job
+from ..schedule.schedule import MachineKey
+from .checkpoint import (
+    CheckpointError,
+    _runtime_from_config,
+    assignment_digest,
+)
+from .metrics import MetricsRegistry
+from .runtime import SchedulerRuntime
+
+__all__ = ["STATE_VERSION", "capture_state", "restore_state"]
+
+STATE_VERSION = 1
+
+#: metric counters that are deterministic functions of the event stream
+#: (latency histograms and probe counts are observability-only and are
+#: deliberately NOT part of the state contract)
+_DETERMINISTIC_COUNTERS = ("arrivals", "departures", "rejections")
+
+
+def _key_to_wire(key: MachineKey) -> list:
+    return [key.type_index, list(key.tag)]
+
+
+def _key_from_wire(obj: Any) -> MachineKey:
+    try:
+        type_index, tag = obj
+        return MachineKey(int(type_index), tuple(tag))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"bad machine key in state snapshot: {obj!r}") from exc
+
+
+def _scheduler_pools(runtime: SchedulerRuntime) -> list[tuple[str, Any]]:
+    iter_pools = getattr(runtime.scheduler, "iter_pools", None)
+    if iter_pools is None:
+        raise CheckpointError(
+            f"scheduler {type(runtime.scheduler).__name__} does not implement "
+            "iter_pools(); state snapshots need it"
+        )
+    return list(iter_pools())
+
+
+def capture_state(runtime: SchedulerRuntime) -> dict:
+    """Serialize the runtime's full mutable state (JSON-safe, self-verifying)."""
+    if runtime.config is None:
+        raise CheckpointError(
+            "runtime has no serializable config; build it with "
+            "SchedulerRuntime.create(...) to enable state snapshots"
+        )
+    pools = _scheduler_pools(runtime)
+    clock = runtime.clock
+    stats = runtime.scheduler.state.stats  # type: ignore[attr-defined]
+    return {
+        "kind": "bshm-state",
+        "version": STATE_VERSION,
+        "config": runtime.config,
+        "n_events": runtime.n_events,
+        "clock": None if not math.isfinite(clock) else clock,
+        "open": [
+            [uid, size, arrival, name, _key_to_wire(key)]
+            for uid, (size, arrival, name, key) in runtime._open.items()
+        ],
+        "closed": [
+            [job.uid, job.size, job.arrival, job.departure, job.name,
+             _key_to_wire(key)]
+            for job, key in runtime._closed.values()
+        ],
+        "rejected": [[uid, reason] for uid, reason in runtime._rejected.items()],
+        "used_uids": sorted(runtime._used_uids),
+        "next_uid": runtime._next_uid,
+        "busy_intervals": [
+            [_key_to_wire(key), [[left, right] for left, right in pairs]]
+            for key, pairs in runtime._cache._raw.items()
+        ],
+        "pools": {label: pool.export_machines() for label, pool in pools},
+        "placement_stats": {"probes": stats.probes, "decisions": stats.decisions},
+        "counters": {
+            name: runtime.metrics.counter(name).value
+            for name in _DETERMINISTIC_COUNTERS
+        },
+        "verify": {
+            "cost": runtime.cost(),
+            "assignment_sha256": assignment_digest(runtime),
+        },
+    }
+
+
+def restore_state(
+    state: dict, *, metrics: MetricsRegistry | None = None
+) -> SchedulerRuntime:
+    """Rebuild a runtime from :func:`capture_state` output and verify it.
+
+    O(state), no event replay.  Raises :class:`CheckpointError` on a
+    malformed document, unknown version, or any self-verification mismatch
+    (clock, cost, assignment digest).
+    """
+    if not isinstance(state, dict) or state.get("kind") != "bshm-state":
+        raise CheckpointError("not a state snapshot (missing kind=bshm-state)")
+    version = state.get("version")
+    if version != STATE_VERSION:
+        raise CheckpointError(
+            f"unsupported state snapshot version {version!r} "
+            f"(this build reads {STATE_VERSION})"
+        )
+    try:
+        runtime = _runtime_from_config(state["config"], metrics=metrics)
+        clock = state["clock"]
+        runtime.clock = -math.inf if clock is None else float(clock)
+        for uid, size, arrival, name, key in state["open"]:
+            runtime._open[int(uid)] = (
+                float(size), float(arrival), str(name), _key_from_wire(key)
+            )
+        for uid, size, arrival, departure, name, key in state["closed"]:
+            job = Job(float(size), float(arrival), float(departure),
+                      name=str(name), uid=int(uid))
+            runtime._closed[int(uid)] = (job, _key_from_wire(key))
+        for uid, reason in state["rejected"]:
+            runtime._rejected[int(uid)] = str(reason)
+        runtime._used_uids = {int(u) for u in state["used_uids"]}
+        runtime._next_uid = int(state["next_uid"])
+        for key_wire, pairs in state["busy_intervals"]:
+            runtime._cache._raw[_key_from_wire(key_wire)] = [
+                (float(left), float(right)) for left, right in pairs
+            ]
+        n_events = int(state["n_events"])
+        pools = dict(_scheduler_pools(runtime))
+        pool_states = state["pools"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed state snapshot: {exc}") from exc
+
+    if set(pools) != set(pool_states):
+        raise CheckpointError(
+            f"state snapshot pools {sorted(pool_states)} do not match the "
+            f"scheduler's pools {sorted(pools)}"
+        )
+    for label, pool in pools.items():
+        pool.restore_machines(pool_states[label])
+
+    # fleet bookkeeping: uid -> machine, rebuilt from the resident maps
+    fleet = runtime.scheduler.state  # type: ignore[attr-defined]
+    for label, pool in pools.items():
+        for machine in pool.machines:
+            for uid in machine.resident:
+                fleet.placement[uid] = machine
+    stats = state.get("placement_stats", {})
+    fleet.stats.probes = int(stats.get("probes", 0))
+    fleet.stats.decisions = int(stats.get("decisions", 0))
+
+    # per-machine open-job counts and the busy-by-type tallies
+    for _uid, (_size, _arrival, _name, key) in runtime._open.items():
+        n_on_machine = runtime._machine_open.get(key, 0) + 1
+        runtime._machine_open[key] = n_on_machine
+        if n_on_machine == 1:
+            runtime._busy_by_type[key.type_index] = (
+                runtime._busy_by_type.get(key.type_index, 0) + 1
+            )
+
+    # history lives in the WAL now, not in memory
+    runtime._log_base = n_events
+
+    for name in _DETERMINISTIC_COUNTERS:
+        runtime.metrics.counter(name).value = int(state["counters"].get(name, 0))
+    runtime._sample_gauges()
+
+    verify = state.get("verify", {})
+    mismatches = []
+    cost = runtime.cost()
+    if cost != verify.get("cost"):
+        mismatches.append(f"cost {cost!r} != {verify.get('cost')!r}")
+    digest = assignment_digest(runtime)
+    if digest != verify.get("assignment_sha256"):
+        mismatches.append("assignment digest differs")
+    if runtime.n_events != n_events:
+        mismatches.append(f"n_events {runtime.n_events} != {n_events}")
+    if mismatches:
+        raise CheckpointError(
+            "state snapshot failed self-verification: " + "; ".join(mismatches)
+        )
+    return runtime

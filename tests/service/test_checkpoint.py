@@ -150,3 +150,104 @@ class TestCheckpoint:
         restored = restore(snapshot(rt))
         assert restored.n_events == 0
         assert restored.cost() == 0.0
+
+
+class TestCorruptFiles:
+    """Every broken-input path raises CheckpointError — never a bare
+    traceback — and the CLI turns that into exit code 2."""
+
+    def test_load_checkpoint_truncated_file(self, driven_runtime, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(driven_runtime, path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError, match="malformed or truncated"):
+            load_checkpoint(path)
+
+    def test_load_checkpoint_garbled_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("}{ not json at all")
+        with pytest.raises(CheckpointError, match="malformed or truncated"):
+            load_checkpoint(path)
+
+    def test_load_checkpoint_non_object(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="JSON object"):
+            load_checkpoint(path)
+
+    def test_load_checkpoint_unknown_version(self, driven_runtime, tmp_path):
+        path = tmp_path / "ckpt.json"
+        snap = snapshot(driven_runtime)
+        snap["version"] = 99
+        path.write_text(json.dumps(snap))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_load_checkpoint_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_read_trace_truncated_file(self, driven_runtime, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_trace(driven_runtime, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # cut the last event mid-line
+        with pytest.raises(CheckpointError, match="malformed trace line"):
+            read_trace(path)
+
+    def test_read_trace_garbled_event(self, driven_runtime, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_trace(driven_runtime, path)
+        with open(path, "a") as fh:
+            fh.write('{"op": "submit", "t": oops}\n')
+        with pytest.raises(CheckpointError, match="malformed trace line"):
+            read_trace(path)
+
+    def test_read_trace_non_object_event(self, driven_runtime, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_trace(driven_runtime, path)
+        with open(path, "a") as fh:
+            fh.write("[1, 2]\n")
+        with pytest.raises(CheckpointError, match="JSON objects"):
+            read_trace(path)
+
+    def test_read_trace_unknown_version_file(self, driven_runtime, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = record_trace(driven_runtime)
+        header = json.loads(lines[0])
+        header["version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            read_trace(path)
+
+    def test_read_trace_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    @pytest.mark.parametrize("content", [
+        "}{ garbage",                                # garbled
+        '{"kind": "header", "version": 99, "config": {}}',  # future version
+    ])
+    def test_cli_replay_exits_2_without_traceback(
+        self, content, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(content + "\n")
+        assert main(["replay", str(bad)]) == 2
+        out = capsys.readouterr()
+        assert "Traceback" not in out.out + out.err
+
+    def test_cli_replay_exits_2_on_truncated_trace(
+        self, driven_runtime, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "run.jsonl"
+        write_trace(driven_runtime, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        assert main(["replay", str(path)]) == 2
+        out = capsys.readouterr()
+        assert "Traceback" not in out.out + out.err

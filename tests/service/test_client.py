@@ -1,0 +1,186 @@
+"""The retrying client: backoff on retryable errors, idempotent replay.
+
+A scripted fake server pins down the retry discipline (what is retried,
+with which delays); a real in-process server pins down end-to-end replay,
+including the duplicate-uid-is-success rule after a mid-stream redo.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import SchedulerRuntime, dec_ladder, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import assignment_digest
+from repro.service.client import ClientError, RetryingClient, replay_events
+from repro.service.server import SchedulerServer
+
+
+class ScriptedServer:
+    """Accepts connections and answers each request line from a script.
+
+    A script entry is either a response dict (sent as JSON) or the string
+    ``"close"`` (drop the connection without answering — a transport
+    fault the client must retry through).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                fh = conn.makefile("rwb")
+                while self.script:
+                    line = fh.readline()
+                    if not line:
+                        break
+                    self.requests.append(json.loads(line))
+                    action = self.script.pop(0)
+                    if action == "close":
+                        break  # connection dropped mid-request
+                    fh.write((json.dumps(action) + "\n").encode())
+                    fh.flush()
+
+    def close(self):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+def overloaded(retry_after_ms=1.0):
+    return {"ok": False, "error": {"code": "overloaded", "retryable": True,
+                                   "message": "busy", "retry_after_ms": retry_after_ms}}
+
+
+class TestRetryDiscipline:
+    def test_retries_retryable_then_succeeds(self):
+        server = ScriptedServer([overloaded(), overloaded(), {"ok": True, "n": 3}])
+        delays = []
+        client = RetryingClient("127.0.0.1", server.port,
+                                backoff_s=0.01, sleep=delays.append)
+        try:
+            response = client.request({"op": "stats"})
+        finally:
+            client.close()
+            server.close()
+        assert response == {"ok": True, "n": 3}
+        assert len(server.requests) == 3
+        assert len(delays) == 2
+        assert delays[1] > delays[0]  # exponential, not constant
+
+    def test_honours_retry_after_hint(self):
+        server = ScriptedServer([overloaded(retry_after_ms=500.0), {"ok": True}])
+        delays = []
+        client = RetryingClient("127.0.0.1", server.port,
+                                backoff_s=0.001, sleep=delays.append)
+        try:
+            assert client.request({"op": "stats"})["ok"]
+        finally:
+            client.close()
+            server.close()
+        assert delays == [0.5]  # the server's hint beat the tiny backoff
+
+    def test_reconnects_after_connection_drop(self):
+        server = ScriptedServer(["close", {"ok": True, "again": True}])
+        client = RetryingClient("127.0.0.1", server.port,
+                                backoff_s=0.001, sleep=lambda _d: None)
+        try:
+            response = client.request({"op": "stats"})
+        finally:
+            client.close()
+            server.close()
+        assert response["again"]
+        assert len(server.requests) == 2  # same request, redelivered
+
+    def test_non_retryable_error_returned_verbatim(self):
+        error = {"ok": False, "error": {"code": "invalid-request",
+                                        "retryable": False, "message": "no"}}
+        server = ScriptedServer([error, {"ok": True}])
+        client = RetryingClient("127.0.0.1", server.port, sleep=lambda _d: None)
+        try:
+            response = client.request({"op": "advance"})
+        finally:
+            client.close()
+            server.close()
+        assert response == error
+        assert len(server.requests) == 1  # no retry on contract violations
+
+    def test_budget_exhaustion_raises(self):
+        server = ScriptedServer([overloaded()] * 3)
+        client = RetryingClient("127.0.0.1", server.port, max_attempts=3,
+                                backoff_s=0.001, sleep=lambda _d: None)
+        try:
+            with pytest.raises(ClientError, match="after 3 attempts"):
+                client.request({"op": "stats"})
+        finally:
+            client.close()
+            server.close()
+
+
+class TestReplayOverNetwork:
+    def _serve(self, runtime):
+        """A real server on a background thread with its own event loop."""
+        started = threading.Event()
+        box = {}
+
+        async def run():
+            server = SchedulerServer(runtime)
+            box["server"] = server
+            box["addr"] = await server.start("127.0.0.1", 0)
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.wait_shutdown()
+
+        thread = threading.Thread(target=lambda: asyncio.run(run()), daemon=True)
+        thread.start()
+        assert started.wait(timeout=5)
+        return box, thread
+
+    def test_replay_events_end_to_end_with_redo(self):
+        ladder = dec_ladder(3)
+        jobs = uniform_workload(10, np.random.default_rng(3), max_size=ladder.capacity(3))
+        events = []
+        reference = SchedulerRuntime.create("dec", ladder, admission=["fits-ladder"])
+        for ev in event_stream(jobs):
+            if ev.kind is EventKind.ARRIVE:
+                reference.submit(ev.job.size, ev.job.arrival,
+                                 name=ev.job.name, uid=ev.job.uid)
+            else:
+                reference.depart(ev.job.uid, ev.job.departure)
+        events = list(reference.events)
+
+        live = SchedulerRuntime.create("dec", ladder, admission=["fits-ladder"])
+        box, thread = self._serve(live)
+        host, port = box["addr"]
+        try:
+            with RetryingClient(host, port, backoff_s=0.001) as client:
+                # a duplicated prefix models an at-least-once redelivery:
+                # the repeated submits come back as duplicate-uid = success
+                script = events[:3] + events
+                applied = replay_events(client, script)
+                assert applied == len(script)
+                with pytest.raises(ClientError, match="rejected"):
+                    replay_events(client, [{"op": "depart", "uid": 10 ** 9,
+                                            "t": 10.0 ** 9}])
+                client.request({"op": "shutdown"})
+        finally:
+            thread.join(timeout=10)
+        assert live.n_events >= len(events)
+        assert assignment_digest(live) == assignment_digest(reference)
+        assert live.cost() == reference.cost()

@@ -46,18 +46,39 @@ class TestHandleLine:
         r = server.handle_line(json.dumps({"op": "submit", "size": 1e9, "t": 0.0}))
         assert r["ok"] and not r["accepted"] and "capacity" in r["reason"]
 
-    def test_protocol_errors(self):
+    def test_protocol_errors_are_structured(self):
         server = SchedulerServer(make_runtime())
-        assert not server.handle_line("")["ok"]
-        assert "malformed" in server.handle_line("{bad")["error"]
-        assert "unknown op" in server.handle_line(json.dumps({"op": "fly"}))["error"]
-        assert not server.handle_line(json.dumps(["submit"]))["ok"]
+        r = server.handle_line("")
+        assert not r["ok"] and r["error"]["code"] == "bad-request"
+        r = server.handle_line("{bad")
+        assert r["error"]["code"] == "bad-request"
+        assert "malformed" in r["error"]["message"]
+        assert r["error"]["retryable"] is False
+        r = server.handle_line(json.dumps({"op": "fly"}))
+        assert r["error"]["code"] == "unknown-op"
+        assert server.handle_line(json.dumps(["submit"]))["error"]["code"] == "bad-request"
         # missing params surface as an error response, not an exception
-        assert not server.handle_line(json.dumps({"op": "submit"}))["ok"]
+        r = server.handle_line(json.dumps({"op": "submit"}))
+        assert not r["ok"] and r["error"]["code"] == "invalid-request"
         # time violations likewise
         server.handle_line(json.dumps({"op": "advance", "t": 10.0}))
         r = server.handle_line(json.dumps({"op": "advance", "t": 5.0}))
-        assert not r["ok"] and "backwards" in r["error"]
+        assert not r["ok"] and r["error"]["code"] == "invalid-request"
+        assert "backwards" in r["error"]["message"]
+
+    def test_duplicate_uid_has_dedicated_code(self):
+        server = SchedulerServer(make_runtime())
+        r = server.handle_line(json.dumps({"op": "submit", "size": 0.5, "t": 0.0, "uid": 7}))
+        assert r["ok"] and r["accepted"]
+        r = server.handle_line(json.dumps({"op": "submit", "size": 0.5, "t": 1.0, "uid": 7}))
+        assert not r["ok"]
+        assert r["error"]["code"] == "duplicate-uid"
+        assert r["error"]["uid"] == 7
+        # a rejected submit also claims its uid: replaying it is a dup too
+        r = server.handle_line(json.dumps({"op": "submit", "size": 1e9, "t": 2.0, "uid": 8}))
+        assert r["ok"] and not r["accepted"]
+        r = server.handle_line(json.dumps({"op": "submit", "size": 1e9, "t": 2.0, "uid": 8}))
+        assert r["error"]["code"] == "duplicate-uid"
 
     def test_checkpoint_inline_and_schedule(self):
         server = SchedulerServer(make_runtime())
@@ -106,6 +127,111 @@ class TestAsyncServer:
         assert out["depart"]["ok"]
         assert out["stats"]["cost"] > 0
         assert out["bye"]["bye"]
+
+
+# ---------------------------------------------------------------------------
+# robustness: disconnects, shedding, bounded reads
+# ---------------------------------------------------------------------------
+
+async def _abrupt_disconnect_then_reconnect():
+    """Regression: a client that RSTs mid-exchange must not leak an
+    unhandled ConnectionResetError or wedge the shared runtime."""
+    unhandled = []
+    loop = asyncio.get_running_loop()
+    loop.set_exception_handler(lambda _loop, ctx: unhandled.append(ctx))
+    server = SchedulerServer(make_runtime())
+    host, port = await server.start("127.0.0.1", 0)
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b'{"op": "submit", "size": 0.5, "t": 0.0}\n')
+    await writer.drain()
+    writer.transport.abort()  # RST: no FIN, no read of the response
+    for _ in range(100):
+        if not server._conn_tasks:
+            break
+        await asyncio.sleep(0.01)
+    # the server must still be healthy for fresh connections
+    reader2, writer2 = await asyncio.open_connection(host, port)
+    stats = await _ask(reader2, writer2, {"op": "stats"})
+    writer2.close()
+    await server.drain()
+    return unhandled, stats
+
+
+async def _overload_shed():
+    """With one request stalled and max_inflight=1, the next request is
+    shed with the retryable ``overloaded`` error."""
+    from repro.service.faults import FaultInjector, FaultPlan, FaultPoint
+
+    gate = asyncio.Event()
+    injector = FaultInjector(FaultPlan.of(FaultPoint("stall", 1, arg=gate)))
+    server = SchedulerServer(make_runtime(), faults=injector, max_inflight=1)
+    host, port = await server.start("127.0.0.1", 0)
+    reader1, writer1 = await asyncio.open_connection(host, port)
+    writer1.write(b'{"op": "advance", "t": 1.0}\n')
+    await writer1.drain()
+    for _ in range(200):
+        if server._inflight == 1:
+            break
+        await asyncio.sleep(0.005)
+    assert server._inflight == 1, "stalled request never became in-flight"
+    reader2, writer2 = await asyncio.open_connection(host, port)
+    shed = await _ask(reader2, writer2, {"op": "stats"})
+    gate.set()
+    stalled = json.loads(await reader1.readline())
+    after = await _ask(reader2, writer2, {"op": "stats"})
+    writer1.close()
+    writer2.close()
+    await server.drain()
+    return shed, stalled, after
+
+
+async def _oversized_line():
+    server = SchedulerServer(make_runtime(), max_line_bytes=256)
+    host, port = await server.start("127.0.0.1", 0)
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b'{"op": "submit", "name": "' + b"x" * 1024 + b'"}\n')
+    await writer.drain()
+    response = json.loads(await reader.readline())
+    eof = await reader.read()  # server hangs up after answering
+    writer.close()
+    await server.drain()
+    return response, eof
+
+
+async def _idle_timeout():
+    server = SchedulerServer(make_runtime(), read_timeout=0.05)
+    host, port = await server.start("127.0.0.1", 0)
+    reader, writer = await asyncio.open_connection(host, port)
+    response = json.loads(await asyncio.wait_for(reader.readline(), timeout=5))
+    writer.close()
+    await server.drain()
+    return response
+
+
+class TestServerRobustness:
+    def test_abrupt_disconnect_is_handled(self):
+        unhandled, stats = asyncio.run(_abrupt_disconnect_then_reconnect())
+        assert unhandled == []
+        assert stats["ok"]
+
+    def test_overload_shedding(self):
+        shed, stalled, after = asyncio.run(_overload_shed())
+        assert not shed["ok"]
+        assert shed["error"]["code"] == "overloaded"
+        assert shed["error"]["retryable"] is True
+        assert shed["error"]["retry_after_ms"] > 0
+        assert stalled["ok"]  # the stalled request still completed
+        assert after["ok"]
+        assert after["metrics"]["shed_requests"]["value"] == 1
+
+    def test_line_too_long(self):
+        response, eof = asyncio.run(_oversized_line())
+        assert response["error"]["code"] == "line-too-long"
+        assert eof == b""
+
+    def test_idle_read_timeout(self):
+        response = asyncio.run(_idle_timeout())
+        assert response["error"]["code"] == "idle-timeout"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Full-state snapshots: O(state) restore must be placement-equivalent.
+
+The contract under test: a runtime rebuilt by ``restore_state`` makes
+bit-identical decisions on any future event stream, even though no event
+was replayed — exact float loads, uid bookkeeping, busy intervals and
+pool contents all survive the round trip.
+"""
+
+import json
+
+import pytest
+
+from repro import SchedulerRuntime, dec_ladder, inc_ladder, uniform_workload
+from repro.machines.catalog import ec2_like_ladder
+from repro.core.events import EventKind, event_stream
+from repro.service.checkpoint import (
+    CheckpointError,
+    assignment_digest,
+    record_trace,
+    snapshot,
+)
+from repro.service.state import capture_state, restore_state
+
+from .test_checkpoint import drive
+
+LADDERS = {
+    "dec": dec_ladder(3),
+    "inc": inc_ladder(3),
+    "general": ec2_like_ladder(4),
+    "first-fit": dec_ladder(3),
+}
+
+
+def make_driven(name, rng, n=40):
+    ladder = LADDERS[name]
+    cap = max(ladder.capacity(i) for i in range(1, ladder.m + 1))
+    jobs = uniform_workload(n, rng, max_size=cap)
+    rt = SchedulerRuntime.create(name, ladder, admission=["fits-ladder"])
+    events = list(event_stream(jobs))
+    half = len(events) // 2
+    drive(rt, jobs, stop_after=half)
+    return rt, events[half:]
+
+
+@pytest.mark.parametrize("name", sorted(LADDERS))
+class TestStateRoundTrip:
+    def test_restore_matches_capture(self, name, rng):
+        rt, _rest = make_driven(name, rng)
+        state = json.loads(json.dumps(capture_state(rt)))  # through JSON
+        restored = restore_state(state)
+        assert restored.cost() == rt.cost()
+        assert restored.clock == rt.clock
+        assert restored.n_events == rt.n_events
+        assert restored.active_uids() == rt.active_uids()
+        assert assignment_digest(restored) == assignment_digest(rt)
+        assert restored.busy_machines_by_type() == rt.busy_machines_by_type()
+
+    def test_continuation_is_bit_identical(self, name, rng):
+        """The heart of the contract: both runtimes, fed the same future,
+        land every job on the same machine at the same cost."""
+        rt, rest = make_driven(name, rng)
+        restored = restore_state(capture_state(rt))
+        for ev in rest:
+            for r in (rt, restored):
+                if ev.kind is EventKind.ARRIVE:
+                    r.submit(ev.job.size, ev.job.arrival,
+                             name=ev.job.name, uid=ev.job.uid)
+                else:
+                    r.depart(ev.job.uid, ev.job.departure)
+        assert restored.cost() == rt.cost()
+        assert assignment_digest(restored) == assignment_digest(rt)
+        assert restored.schedule().cost() == rt.schedule().cost()
+
+    def test_deterministic_counters_survive(self, name, rng):
+        rt, _ = make_driven(name, rng)
+        restored = restore_state(capture_state(rt))
+        for counter in ("arrivals", "departures", "rejections"):
+            assert (restored.metrics.counter(counter).value
+                    == rt.metrics.counter(counter).value)
+
+
+class TestStateRefusals:
+    def test_restored_runtime_has_truncated_history(self, rng):
+        rt, _ = make_driven("dec", rng)
+        restored = restore_state(capture_state(rt))
+        assert restored.history_truncated
+        assert restored.events == ()  # memory holds only post-restore events
+        with pytest.raises(CheckpointError, match="WAL"):
+            record_trace(restored)
+        with pytest.raises(CheckpointError, match="WAL"):
+            snapshot(restored)
+        with pytest.raises(ValueError, match="truncated"):
+            restored.events_since(0) if restored.n_events else None
+
+    def test_tampered_state_fails_verification(self, rng):
+        rt, _ = make_driven("dec", rng)
+        state = capture_state(rt)
+        state["verify"]["cost"] += 1.0
+        with pytest.raises(CheckpointError, match="self-verification"):
+            restore_state(state)
+
+    def test_unknown_version_rejected(self, rng):
+        rt, _ = make_driven("dec", rng)
+        state = capture_state(rt)
+        state["version"] = 99
+        with pytest.raises(CheckpointError, match="version"):
+            restore_state(state)
+
+    def test_not_a_state_snapshot(self):
+        with pytest.raises(CheckpointError, match="bshm-state"):
+            restore_state({"kind": "something-else"})
+
+    def test_pool_mismatch_rejected(self, rng):
+        rt, _ = make_driven("dec", rng)
+        state = capture_state(rt)
+        state["pools"]["bogus"] = []
+        with pytest.raises(CheckpointError, match="pools"):
+            restore_state(state)
+
+    def test_state_snapshot_is_json_safe(self, rng):
+        rt, _ = make_driven("general", rng)
+        json.dumps(capture_state(rt))

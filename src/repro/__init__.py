@@ -36,8 +36,23 @@ from .core.sweep import (
     sweep_nested_demand,
     sweep_peak_load,
 )
+from .core.vectorized import (
+    DEFAULT_VEC_THRESHOLD,
+    dispatch_threshold,
+    use_vectorized,
+    vec_busy_cost,
+    vec_busy_time,
+    vec_busy_union,
+    vec_demand_profile,
+    vec_demand_steps,
+    vec_event_steps,
+    vec_grouped_busy_time,
+    vec_nested_demand,
+    vec_peak_load,
+    vec_threshold,
+)
 from .jobs.job import Job
-from .jobs.jobset import JobSet
+from .jobs.jobset import JobArrays, JobSet
 from .jobs.generators.workloads import (
     adversarial_staircase,
     bounded_mu_workload,
@@ -158,11 +173,25 @@ __all__ = [
     "sweep_grouped_busy_time",
     "sweep_nested_demand",
     "sweep_peak_load",
+    "DEFAULT_VEC_THRESHOLD",
+    "dispatch_threshold",
+    "use_vectorized",
+    "vec_busy_cost",
+    "vec_busy_time",
+    "vec_busy_union",
+    "vec_demand_profile",
+    "vec_demand_steps",
+    "vec_event_steps",
+    "vec_grouped_busy_time",
+    "vec_nested_demand",
+    "vec_peak_load",
+    "vec_threshold",
     "Event",
     "EventKind",
     "event_stream",
     "elementary_segments",
     "Job",
+    "JobArrays",
     "JobSet",
     "uniform_workload",
     "poisson_workload",

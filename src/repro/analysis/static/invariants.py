@@ -10,6 +10,7 @@ these rules would have caught):
 - :class:`Nondeterminism` (BSHM004) — replay safety in core/online/service
 - :class:`FrozenMutation` (BSHM005) — Schedule/Interval/Job immutability
 - :class:`CheckpointSchemaDrift` (BSHM006) — schema-version bumps
+- :class:`UnstableArgsort` (BSHM007) — stable sorts in order-sensitive kernels
 
 Suppress a finding with ``# bshm: ignore[<RULE>]`` on the offending
 line (or on a comment-only line directly above) plus a justification.
@@ -43,6 +44,7 @@ __all__ = [
     "Nondeterminism",
     "FrozenMutation",
     "CheckpointSchemaDrift",
+    "UnstableArgsort",
     "compute_schema_manifest",
     "SCHEMA_MANIFEST_NAME",
 ]
@@ -496,3 +498,51 @@ class CheckpointSchemaDrift(Rule):
                     f"manifest ({key} = {manifest.get(key)}); refresh the "
                     "manifest alongside the version bump",
                 )
+
+
+#: sort kinds that guarantee a deterministic permutation on ties
+_STABLE_SORT_KINDS = frozenset({"stable", "mergesort"})
+
+
+@register_rule
+class UnstableArgsort(Rule):
+    """``argsort`` without ``kind="stable"`` in order-sensitive kernels.
+
+    The sweep and vectorized kernels sample running sums produced by
+    sorting *event permutations*; numpy's default introsort breaks ties
+    in a platform/size-dependent order, so two runs of the same instance
+    can disagree in the last float bit — enough to flip a segment
+    boundary and break both byte-identical replay and the exactness
+    argument of the differential tests (vectorized vs sweep match
+    bit-for-bit on integer inputs *because* both use the same stable
+    permutation).  ``np.lexsort`` is always stable and is exempt.
+    """
+
+    id = "BSHM007"
+    title = "argsort without a stable kind in an order-sensitive kernel"
+    rationale = "deterministic event permutations; vectorized/sweep bit-parity"
+    scopes = _DETERMINISTIC_SCOPES
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or dotted.split(".")[-1] != "argsort":
+                continue
+            kind = next(
+                (kw.value for kw in node.keywords if kw.arg == "kind"), None
+            )
+            if (
+                isinstance(kind, ast.Constant)
+                and kind.value in _STABLE_SORT_KINDS
+            ):
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                "argsort without kind='stable'; tie order is platform-"
+                "dependent under the default introsort — event-queue "
+                "permutations must be stable for replay and for the "
+                "vectorized/sweep bit-parity contract",
+            )

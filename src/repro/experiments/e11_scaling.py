@@ -19,7 +19,7 @@ from ..online.dec_online import DecOnlineScheduler
 from ..online.engine import run_online
 from ..online.inc_online import IncOnlineScheduler
 from ..lowerbound.bound import lower_bound
-from .harness import ExperimentResult, rng_for
+from .harness import ExperimentResult, rng_for, workload_stats
 
 EXPERIMENT_ID = "E11"
 TITLE = "Runtime scaling (seconds) vs number of jobs"
@@ -41,7 +41,15 @@ def run(scale: str = "full") -> ExperimentResult:
         t0 = clock(); inc_offline(jobs_inc, inc); timings["INC-OFFLINE"] = clock() - t0
         t0 = clock(); run_online(jobs_inc, IncOnlineScheduler(inc)); timings["INC-ONLINE"] = clock() - t0
         t0 = clock(); lower_bound(jobs_dec, dec); timings["lower-bound"] = clock() - t0
-        rows.append({"n": n, **{k: round(v, 4) for k, v in timings.items()}})
+        stats = workload_stats(jobs_dec)
+        rows.append(
+            {
+                "n": n,
+                **{k: round(v, 4) for k, v in timings.items()},
+                "peak": round(stats["peak_demand"], 2),
+                "mu": round(stats["mu"], 2),
+            }
+        )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,

@@ -21,23 +21,64 @@ from ..core.intervals import Interval, IntervalSet
 from ..core.stepfun import StepFunction, sum_pulses
 from ..core.events import elementary_segments
 from ..core.sweep import sweep_busy_union, sweep_peak_load
+from ..core.vectorized import (
+    use_vectorized,
+    vec_busy_union,
+    vec_demand_profile,
+    vec_peak_load,
+)
 from .job import Job
 
-__all__ = ["JobSet"]
+__all__ = ["JobArrays", "JobSet"]
+
+
+class JobArrays:
+    """Columnar view of a :class:`JobSet`: contiguous, read-only float64/int64
+    columns in the set's canonical ``(arrival, uid)`` order.
+
+    This is the input format of the :mod:`repro.core.vectorized` bulk
+    kernels: one attribute access per *column* instead of one per job.  The
+    arrays are marked non-writeable — the view shares the JobSet's
+    immutability contract, so it can be cached and handed out freely.
+    """
+
+    __slots__ = ("starts", "ends", "sizes", "uids")
+
+    def __init__(self, jobs: Sequence[Job]) -> None:
+        n = len(jobs)
+        starts = np.fromiter((j.arrival for j in jobs), dtype=np.float64, count=n)
+        ends = np.fromiter((j.departure for j in jobs), dtype=np.float64, count=n)
+        sizes = np.fromiter((j.size for j in jobs), dtype=np.float64, count=n)
+        uids = np.fromiter((j.uid for j in jobs), dtype=np.int64, count=n)
+        for arr in (starts, ends, sizes, uids):
+            arr.setflags(write=False)
+        self.starts: np.ndarray = starts
+        self.ends: np.ndarray = ends
+        self.sizes: np.ndarray = sizes
+        self.uids: np.ndarray = uids
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
 
 
 class JobSet:
     """An immutable set of interval jobs."""
 
-    __slots__ = ("_jobs", "_by_uid")
+    __slots__ = ("_jobs", "_by_uid", "_arrays")
 
-    def __init__(self, jobs: Iterable[Job] = ()) -> None:
-        ordered = tuple(sorted(jobs, key=lambda j: (j.arrival, j.uid)))
+    def __init__(self, jobs: Iterable[Job] = (), *, _presorted: bool = False) -> None:
+        if _presorted:
+            # internal fast path: the caller guarantees (arrival, uid) order
+            # with unique uids (subsets of an existing JobSet keep both)
+            ordered = tuple(jobs)
+        else:
+            ordered = tuple(sorted(jobs, key=lambda j: (j.arrival, j.uid)))
         by_uid = {job.uid: job for job in ordered}
         if len(by_uid) != len(ordered):
             raise ValueError("duplicate job uids in JobSet")
         object.__setattr__(self, "_jobs", ordered)
         object.__setattr__(self, "_by_uid", by_uid)
+        object.__setattr__(self, "_arrays", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("JobSet is immutable")
@@ -64,6 +105,23 @@ class JobSet:
     def empty(self) -> bool:
         return not self._jobs
 
+    def to_arrays(self) -> JobArrays:
+        """Columnar ``(starts, ends, sizes, uids)`` view of the set.
+
+        Built lazily on first use and cached for the set's lifetime: JobSet
+        is immutable, so the view can never go stale — every "mutation"
+        (filter / minus / union / transform) constructs a *new* JobSet whose
+        cache starts empty, which is what invalidation means here.  The
+        arrays themselves are read-only.
+        """
+        cached = self._arrays
+        if cached is None:
+            cached = JobArrays(self._jobs)
+            # memo on an immutable structure: the blessed lazy-cache backdoor,
+            # same pattern as Schedule._memo.  # bshm: ignore[BSHM005]
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
     # -- aggregate queries ---------------------------------------------------
     def active_at(self, t: float) -> "JobSet":
         """``J(t)`` — the jobs active at time ``t``."""
@@ -74,9 +132,17 @@ class JobSet:
         return sum(j.size for j in self._jobs if j.active_at(t))
 
     def demand_profile(self) -> StepFunction:
-        """``s(J, ·)`` as a step function (the paper's *demand chart* height)."""
+        """``s(J, ·)`` as a step function (the paper's *demand chart* height).
+
+        Batches of at least :func:`~repro.core.vectorized.vec_threshold` jobs
+        dispatch to the columnar kernel (identical output, no per-job Python);
+        smaller sets stay on the sweep path.
+        """
         if not self._jobs:
             return StepFunction.zero()
+        if use_vectorized(len(self._jobs)):
+            a = self.to_arrays()
+            return vec_demand_profile(a.starts, a.ends, a.sizes)
         return sum_pulses([(j.arrival, j.departure, j.size) for j in self._jobs])
 
     def at_least_class(self, i: int, capacities: Sequence[float]) -> "JobSet":
@@ -104,6 +170,9 @@ class JobSet:
         """``U_{J in set} I(J)`` — the union of all active intervals."""
         if not self._jobs:
             return IntervalSet()
+        if use_vectorized(len(self._jobs)):
+            a = self.to_arrays()
+            return vec_busy_union(a.starts, a.ends)
         return sweep_busy_union(
             [j.arrival for j in self._jobs], [j.departure for j in self._jobs]
         )
@@ -140,6 +209,9 @@ class JobSet:
         """``max_t s(J, t)`` (event sweep; no profile object built)."""
         if not self._jobs:
             return 0.0
+        if use_vectorized(len(self._jobs)):
+            a = self.to_arrays()
+            return vec_peak_load(a.starts, a.ends, a.sizes)
         return sweep_peak_load(
             [j.arrival for j in self._jobs],
             [j.departure for j in self._jobs],
@@ -151,10 +223,28 @@ class JobSet:
         """Subset of jobs satisfying the predicate."""
         return JobSet(j for j in self._jobs if predicate(j))
 
+    def filter_max_size(self, limit: float) -> "JobSet":
+        """Jobs with ``s(J) <= limit`` (the DEC strip-peeling eligibility cut).
+
+        Above the dispatch threshold the cut is a single vectorized mask over
+        the cached size column — no per-job predicate calls — and the subset
+        reuses the canonical order, skipping the constructor's re-sort.
+        """
+        if use_vectorized(len(self._jobs)):
+            mask = self.to_arrays().sizes <= limit
+            if bool(mask.all()):
+                return self
+            picked = tuple(job for job, m in zip(self._jobs, mask) if m)
+            return JobSet(picked, _presorted=True)
+        return self.filter(lambda j: j.size <= limit)
+
     def minus(self, other: "JobSet") -> "JobSet":
         """Set difference by uid (the paper's ``J̈_i = ... - U J̌_k``)."""
         gone = other._by_uid.keys()
-        return JobSet(j for j in self._jobs if j.uid not in gone)
+        # a subset keeps the canonical order, so the re-sort is skipped
+        return JobSet(
+            tuple(j for j in self._jobs if j.uid not in gone), _presorted=True
+        )
 
     def union(self, other: "JobSet") -> "JobSet":
         """Union by uid; raises on conflicting jobs sharing a uid."""

@@ -23,6 +23,7 @@ from ..analysis.profiling import Profiler
 from ..core.intervals import Interval, IntervalSet
 from ..core.stepfun import StepFunction
 from ..core.sweep import sweep_nested_demand
+from ..core.vectorized import use_vectorized, vec_nested_demand
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from .config import ConfigSolver
@@ -73,12 +74,26 @@ def lower_bound(
     sweep (:func:`~repro.core.sweep.sweep_nested_demand`) instead of ``m``
     independent profile constructions; segments where no job is active are
     skipped, exactly as :meth:`JobSet.segments` used to do.
+
+    Instances of at least :func:`~repro.core.vectorized.vec_threshold` jobs
+    build the demand matrix on the columnar path
+    (:func:`~repro.core.vectorized.vec_nested_demand`) and deduplicate the
+    per-segment demand columns before solving — each distinct configuration
+    is solved once and the integral is one dot product, instead of ``k``
+    Python loop iterations through the solver cache.
     """
     if jobs.empty:
         return LowerBoundResult(0.0, ladder, (), (), ())
-    times, active, demand_matrix = sweep_nested_demand(
-        list(jobs), ladder.capacities
-    )
+    vectorized = use_vectorized(len(jobs))
+    if vectorized:
+        a = jobs.to_arrays()
+        times, active, demand_matrix = vec_nested_demand(
+            a.starts, a.ends, a.sizes, ladder.capacities
+        )
+    else:
+        times, active, demand_matrix = sweep_nested_demand(
+            list(jobs), ladder.capacities
+        )
     live = np.flatnonzero(active > 0)
     if live.size == 0:
         return LowerBoundResult(0.0, ladder, (), (), ())
@@ -95,11 +110,25 @@ def lower_bound(
     total = 0.0
     ctx = profiler.timer("lb.config-solve") if profiler is not None else nullcontext()
     with ctx:
-        for k, seg in zip(live, segments):
-            config = solver.solve(tuple(demand_matrix[:, k]))
-            rates.append(config.rate)
-            counts.append(config.counts)
-            total += config.rate * seg.length
+        if vectorized:
+            # solve each *distinct* demand column once (exact float match,
+            # the same keying the solver cache uses), then contract rates
+            # against segment lengths in one dot product
+            cols = np.ascontiguousarray(demand_matrix[:, live].T)
+            uniq_cols, inverse = np.unique(cols, axis=0, return_inverse=True)
+            configs = [solver.solve(tuple(col)) for col in uniq_cols]
+            inverse = inverse.ravel()
+            rate_arr = np.array([c.rate for c in configs])[inverse]
+            lengths = np.diff(times)[live]
+            total = float(np.dot(rate_arr, lengths))
+            rates = [float(r) for r in rate_arr]
+            counts = [configs[i].counts for i in inverse]
+        else:
+            for k, seg in zip(live, segments):
+                config = solver.solve(tuple(demand_matrix[:, k]))
+                rates.append(config.rate)
+                counts.append(config.counts)
+                total += config.rate * seg.length
     return LowerBoundResult(
         value=total,
         ladder=ladder,

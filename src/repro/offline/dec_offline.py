@@ -81,7 +81,10 @@ def dec_offline(
     assignment: dict[Job, MachineKey] = {}
     remaining = jobs
     for i in range(1, ladder.m):
-        eligible = remaining.filter(lambda j, g=ladder.capacity(i): j.size <= g)
+        # strip-peeling eligibility cut: above the dispatch threshold this is
+        # one vectorized mask over the cached size column (core.vectorized),
+        # below it the per-job predicate — identical subsets either way
+        eligible = remaining.filter_max_size(ladder.capacity(i))
         if eligible.empty:
             continue
         placement = place_jobs(eligible, order=placement_order)

@@ -23,6 +23,7 @@ from ..core.sweep import (
     sweep_busy_union,
     sweep_grouped_busy_time,
 )
+from ..core.vectorized import use_vectorized, vec_grouped_busy_time
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
@@ -121,7 +122,11 @@ class Schedule:
 
         All machines' intervals go through a single
         :func:`~repro.core.sweep.sweep_grouped_busy_time` call —
-        ``O(N log N)`` total instead of one sort per machine.
+        ``O(N log N)`` total instead of one sort per machine.  Above the
+        dispatch threshold the grouped union runs on the block-offset
+        interval-merge kernel
+        (:func:`~repro.core.vectorized.vec_grouped_busy_time`): one stable
+        sort, no event queue — this is the busy-cost integration fast path.
         """
         cached = self._memo.get("busy_times")
         if cached is None:
@@ -135,7 +140,10 @@ class Schedule:
                     starts.append(job.arrival)
                     ends.append(job.departure)
                     gidx.append(gi)
-            busy = sweep_grouped_busy_time(starts, ends, gidx, len(keys))
+            if use_vectorized(len(starts)):
+                busy = vec_grouped_busy_time(starts, ends, gidx, len(keys))
+            else:
+                busy = sweep_grouped_busy_time(starts, ends, gidx, len(keys))
             cached = {key: float(b) for key, b in zip(keys, busy)}
             self._memo["busy_times"] = cached
         return cached

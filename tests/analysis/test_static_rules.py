@@ -236,6 +236,59 @@ class TestFrozenMutation:
 
 
 # ---------------------------------------------------------------------------
+# BSHM007 — argsort without a stable kind in order-sensitive scopes
+# ---------------------------------------------------------------------------
+
+class TestUnstableArgsort:
+    def test_bare_argsort_fires(self):
+        snippet = "def f(t):\n    import numpy as np\n    return np.argsort(t)\n"
+        assert ids(check(snippet, "core/foo.py")) == ["BSHM007"]
+
+    def test_method_call_fires(self):
+        snippet = "def f(t):\n    return t.argsort()\n"
+        assert ids(check(snippet, "service/foo.py")) == ["BSHM007"]
+
+    def test_quicksort_kind_fires(self):
+        snippet = (
+            "def f(t):\n    import numpy as np\n"
+            "    return np.argsort(t, kind='quicksort')\n"
+        )
+        assert ids(check(snippet, "online/foo.py")) == ["BSHM007"]
+
+    def test_stable_kind_is_clean(self):
+        snippet = (
+            "def f(t):\n    import numpy as np\n"
+            "    return np.argsort(t, kind='stable')\n"
+        )
+        assert check(snippet, "core/foo.py") == []
+
+    def test_mergesort_kind_is_clean(self):
+        snippet = (
+            "def f(t):\n    import numpy as np\n"
+            "    return np.argsort(t, kind='mergesort')\n"
+        )
+        assert check(snippet, "core/foo.py") == []
+
+    def test_lexsort_is_exempt(self):
+        snippet = (
+            "def f(a, b):\n    import numpy as np\n"
+            "    return np.lexsort((a, b))\n"
+        )
+        assert check(snippet, "core/foo.py") == []
+
+    def test_out_of_scope_is_clean(self):
+        snippet = "def f(t):\n    import numpy as np\n    return np.argsort(t)\n"
+        assert check(snippet, "experiments/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "def f(t):\n    import numpy as np\n"
+            "    return np.argsort(t)  # bshm: ignore[BSHM007]\n"
+        )
+        assert check(snippet, "core/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
 # BSHM006 — checkpoint schema drift
 # ---------------------------------------------------------------------------
 
@@ -326,6 +379,7 @@ class TestEngine:
     def test_rule_catalogue_is_stable(self):
         assert sorted(RULES) == [
             "BSHM001", "BSHM002", "BSHM003", "BSHM004", "BSHM005", "BSHM006",
+            "BSHM007",
         ]
 
     def test_findings_are_sorted_and_formatted(self):

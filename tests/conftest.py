@@ -6,6 +6,10 @@ import numpy as np
 import pytest
 from hypothesis import strategies as st
 
+# importing registers the quick/ci/deep Hypothesis profiles and loads the
+# one selected by BSHM_HYPOTHESIS_PROFILE (default: ci)
+from tests.property.settings import ACTIVE_PROFILE as _HYPOTHESIS_PROFILE  # noqa: F401
+
 from repro import Job, JobSet, Ladder, MachineType
 
 

@@ -1,0 +1,126 @@
+"""Dispatch determinism regression for the vectorized/sweep tier split.
+
+The contract (see the :mod:`repro.core.vectorized` module docstring): which
+tier a batch takes is a pure integer comparison ``n >= threshold`` against a
+process-wide constant configured explicitly — never derived from timing,
+core counts or any other platform probe.  A replayed trace must pick the
+same path on every machine.  These tests pin that contract: the decision
+function is pure and monotone, the threshold comes only from
+``BSHM_VEC_THRESHOLD``/:func:`dispatch_threshold`, and malformed
+configuration fails loudly instead of silently changing the path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DEFAULT_VEC_THRESHOLD,
+    Job,
+    JobSet,
+    dispatch_threshold,
+    use_vectorized,
+    vec_threshold,
+)
+from repro.core import vectorized
+
+
+class TestDecisionFunction:
+    def test_pure_integer_compare(self):
+        t = vec_threshold()
+        assert not use_vectorized(t - 1)
+        assert use_vectorized(t)
+        assert use_vectorized(t + 1)
+
+    def test_monotone_in_n(self):
+        # once an instance is big enough, every bigger instance dispatches
+        # the same way — there is no upper cutoff or sampling
+        with dispatch_threshold(100):
+            decisions = [use_vectorized(n) for n in range(200)]
+        assert decisions == [n >= 100 for n in range(200)]
+
+    def test_repeated_calls_identical(self):
+        # no internal state, counters or timing: same n, same answer, always
+        assert len({use_vectorized(5000) for _ in range(100)}) == 1
+
+    def test_default_threshold(self):
+        assert DEFAULT_VEC_THRESHOLD == 4096
+        assert vec_threshold() == DEFAULT_VEC_THRESHOLD
+
+
+class TestDispatchThresholdContext:
+    def test_pins_and_restores(self):
+        before = vec_threshold()
+        with dispatch_threshold(7):
+            assert vec_threshold() == 7
+            assert use_vectorized(7) and not use_vectorized(6)
+        assert vec_threshold() == before
+
+    def test_restores_on_error(self):
+        before = vec_threshold()
+        with pytest.raises(RuntimeError):
+            with dispatch_threshold(1):
+                raise RuntimeError("boom")
+        assert vec_threshold() == before
+
+    def test_nesting(self):
+        with dispatch_threshold(10):
+            with dispatch_threshold(20):
+                assert vec_threshold() == 20
+            assert vec_threshold() == 10
+
+    def test_zero_forces_vectorized_everywhere(self):
+        with dispatch_threshold(0):
+            assert use_vectorized(0)
+            assert use_vectorized(1)
+
+    def test_huge_threshold_forces_sweep_tier(self):
+        with dispatch_threshold(2**63 - 1):
+            assert not use_vectorized(10**9)
+
+
+class TestEnvConfiguration:
+    def test_env_parsed_as_int(self, monkeypatch):
+        monkeypatch.setenv("BSHM_VEC_THRESHOLD", "123")
+        assert vectorized._threshold_from_env() == 123
+
+    def test_env_absent_uses_default(self, monkeypatch):
+        monkeypatch.delenv("BSHM_VEC_THRESHOLD", raising=False)
+        assert vectorized._threshold_from_env() == DEFAULT_VEC_THRESHOLD
+
+    def test_env_non_integer_fails_loudly(self, monkeypatch):
+        # a typo must not silently fall back and change which path runs
+        monkeypatch.setenv("BSHM_VEC_THRESHOLD", "fast")
+        with pytest.raises(ValueError, match="BSHM_VEC_THRESHOLD"):
+            vectorized._threshold_from_env()
+
+
+class TestBothPathsAgree:
+    """The threshold moves work between two bit-compatible implementations."""
+
+    def _jobset(self):
+        rng = np.random.default_rng(7)
+        starts = rng.integers(0, 50, size=40).astype(float)
+        durations = rng.integers(1, 20, size=40).astype(float)
+        sizes = rng.integers(1, 8, size=40).astype(float)
+        return JobSet(
+            Job(size=z, arrival=a, departure=a + d)
+            for a, d, z in zip(starts, durations, sizes)
+        )
+
+    def test_demand_profile_identical_across_tiers(self):
+        jobs = self._jobset()
+        with dispatch_threshold(2**63 - 1):
+            swept = jobs.demand_profile()
+        with dispatch_threshold(0):
+            vectorized_profile = jobs.demand_profile()
+        assert swept == vectorized_profile
+
+    def test_peak_and_span_identical_across_tiers(self):
+        jobs = self._jobset()
+        with dispatch_threshold(2**63 - 1):
+            sweep_out = (jobs.peak_demand(), jobs.busy_span())
+        with dispatch_threshold(0):
+            vec_out = (jobs.peak_demand(), jobs.busy_span())
+        assert sweep_out == vec_out

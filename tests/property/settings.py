@@ -1,0 +1,71 @@
+"""Tiered Hypothesis profiles for the property suites.
+
+Three tiers, selected with the ``BSHM_HYPOTHESIS_PROFILE`` environment
+variable (default ``ci``):
+
+- ``quick`` — 0.2x examples; local edit-test loops.
+- ``ci``    — 1x examples; the PR gate (same budget the suite always had).
+- ``deep``  — 8x examples; the nightly soak (see ``.github/workflows/
+  nightly.yml``).
+
+Individual test modules weight their example budgets differently (a cheap
+interval invariant affords many more examples than a full DEC-OFFLINE
+parity run), so the tier is a *multiplier*, not a fixed count: decorate
+with ``@tiered(base)`` where ``base`` is the ``ci``-tier example count.
+Every tiered settings object has ``deadline=None`` — kernel timings vary
+too much under CI load for per-example deadlines to be signal.
+
+The module also registers the three tiers as named Hypothesis profiles and
+loads the active one on import (``tests/conftest.py`` imports this module,
+so plain ``@given`` tests inherit the tier's default budget too).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+__all__ = ["ACTIVE_PROFILE", "PROFILE_SCALES", "tiered"]
+
+#: example-count multiplier per tier, relative to the ``ci`` baseline
+PROFILE_SCALES = {"quick": 0.2, "ci": 1.0, "deep": 8.0}
+
+#: default example budget of a profile for tests that don't call tiered()
+_BASE_EXAMPLES = 100
+
+ACTIVE_PROFILE = os.environ.get("BSHM_HYPOTHESIS_PROFILE", "ci")
+if ACTIVE_PROFILE not in PROFILE_SCALES:
+    raise ValueError(
+        f"BSHM_HYPOTHESIS_PROFILE={ACTIVE_PROFILE!r} is not one of "
+        f"{sorted(PROFILE_SCALES)}"
+    )
+
+
+def _scaled(base: int, scale: float) -> int:
+    """Example count for a tier; never below 5 so shrinking still works."""
+    return max(5, round(base * scale))
+
+
+def tiered(base_examples: int, **overrides) -> settings:
+    """A ``settings`` object whose ``max_examples`` scales with the tier.
+
+    ``base_examples`` is the count the test runs at the ``ci`` tier;
+    ``quick``/``deep`` scale it by :data:`PROFILE_SCALES`.  Keyword
+    overrides pass through to :class:`hypothesis.settings`.
+    """
+    return settings(
+        max_examples=_scaled(base_examples, PROFILE_SCALES[ACTIVE_PROFILE]),
+        deadline=None,
+        **overrides,
+    )
+
+
+for _name, _scale in PROFILE_SCALES.items():
+    settings.register_profile(
+        _name,
+        max_examples=_scaled(_BASE_EXAMPLES, _scale),
+        deadline=None,
+        print_blob=True,
+    )
+settings.load_profile(ACTIVE_PROFILE)

@@ -7,7 +7,9 @@ online/offline equivalence of cost computation.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.property.settings import tiered
 
 from repro import (
     CheapestFitGreedy,
@@ -31,10 +33,11 @@ from tests.conftest import (
     jobset_strategy,
 )
 
-COMMON_SETTINGS = dict(deadline=None, max_examples=25)
+# ci-tier baseline: 25 examples per invariant (quick/deep tiers rescale)
+COMMON_SETTINGS = tiered(25)
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=20, max_size=8.0), any_ladder_strategy(max_m=5))
 def test_every_universal_algorithm_is_feasible(jobs, ladder):
     """Algorithms applicable to ANY ladder must always emit feasible
@@ -58,7 +61,7 @@ def test_every_universal_algorithm_is_feasible(jobs, ladder):
         assert report.ok, report.summary()
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=20, max_size=8.0), any_ladder_strategy(max_m=5))
 def test_lower_bound_below_every_algorithm(jobs, ladder):
     if not ladder.fits(jobs.max_size):
@@ -72,7 +75,7 @@ def test_lower_bound_below_every_algorithm(jobs, ladder):
         assert sched.cost() >= lb - 1e-6 * max(1.0, lb)
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=20, max_size=8.0), any_ladder_strategy(max_m=4))
 def test_cost_decompositions_consistent(jobs, ladder):
     if not ladder.fits(jobs.max_size):
@@ -84,7 +87,7 @@ def test_cost_decompositions_consistent(jobs, ladder):
     assert sum(sched.machine_count_by_type().values()) == len(sched.machines())
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=20, max_size=8.0), any_ladder_strategy(max_m=4))
 def test_cost_never_below_volume_over_best_amortized(jobs, ladder):
     """Physical sanity: you cannot pay less than volume x cheapest unit price
@@ -98,7 +101,7 @@ def test_cost_never_below_volume_over_best_amortized(jobs, ladder):
     assert sched.cost() >= jobs.busy_span().length * ladder.rate(1) - 1e-6
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=18, max_size=8.0), dec_ladder_strategy(max_m=4))
 def test_dec_algorithms_place_within_fitting_types(jobs, ladder):
     if not ladder.fits(jobs.max_size):
@@ -111,7 +114,7 @@ def test_dec_algorithms_place_within_fitting_types(jobs, ladder):
             assert job.size <= ladder.capacity(key.type_index) + 1e-9
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=18, max_size=4.0), inc_ladder_strategy(max_m=4))
 def test_inc_partition_is_strict(jobs, ladder):
     """INC algorithms never mix size classes on one machine."""
@@ -126,7 +129,7 @@ def test_inc_partition_is_strict(jobs, ladder):
             assert classes == {key.type_index}
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=15, max_size=8.0), any_ladder_strategy(max_m=4))
 def test_online_schedulers_are_deterministic(jobs, ladder):
     if not ladder.fits(jobs.max_size):
@@ -138,7 +141,7 @@ def test_online_schedulers_are_deterministic(jobs, ladder):
     }
 
 
-@settings(**COMMON_SETTINGS)
+@COMMON_SETTINGS
 @given(jobset_strategy(max_jobs=12, max_size=8.0), any_ladder_strategy(max_m=4))
 def test_scale_invariance_of_time(jobs, ladder):
     """Scaling all job times by a constant scales every cost by the same

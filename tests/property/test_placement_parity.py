@@ -12,7 +12,9 @@ placement sequences and final schedule costs.
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.settings import tiered
 
 from repro import dec_ladder, run_online, uniform_workload
 from repro.machines.fleet import IndexedPool
@@ -76,19 +78,19 @@ def _assert_parity(events, **pool_kwargs) -> None:
     assert indexed.busy_count() == scan.busy_count()
 
 
-@settings(deadline=None, max_examples=120)
+@tiered(120)
 @given(traffic(), st.one_of(st.none(), st.integers(1, 5)))
 def test_multi_job_pool_parity(events, budget):
     _assert_parity(events, budget=budget)
 
 
-@settings(deadline=None, max_examples=120)
+@tiered(120)
 @given(traffic(), st.one_of(st.none(), st.integers(1, 4)))
 def test_single_job_pool_parity(events, budget):
     _assert_parity(events, budget=budget, single_job=True)
 
 
-@settings(deadline=None, max_examples=80)
+@tiered(80)
 @given(traffic())
 def test_size_limited_pool_parity(events):
     _assert_parity(events, size_limit=CAPACITY / 2.0, budget=3)
@@ -103,7 +105,7 @@ class _ScanPool(IndexedPool):
         return self.first_fit_reference(uid, size)
 
 
-@settings(deadline=None, max_examples=15)
+@tiered(15)
 @given(st.integers(0, 2**32 - 1), st.integers(60, 220))
 def test_dec_scheduler_engine_parity(seed, n):
     """Whole DEC-ONLINE runs place identically under either engine."""

@@ -11,7 +11,9 @@ check the invariants the schedulers rely on:
 - single-job pools never co-host.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.settings import tiered
 
 from repro.machines.fleet import IndexedPool
 
@@ -54,7 +56,7 @@ def _drive(pool: IndexedPool, events) -> list:
     return decisions
 
 
-@settings(deadline=None, max_examples=60)
+@tiered(60)
 @given(traffic(), st.one_of(st.none(), st.integers(1, 5)))
 def test_pool_capacity_and_budget(events, budget):
     pool = IndexedPool("A", 1, CAPACITY, budget=budget)
@@ -65,7 +67,7 @@ def test_pool_capacity_and_budget(events, budget):
         assert pool.busy_count() <= budget
 
 
-@settings(deadline=None, max_examples=60)
+@tiered(60)
 @given(traffic())
 def test_pool_lowest_index_preference(events):
     pool = IndexedPool("A", 1, CAPACITY, budget=None)
@@ -92,7 +94,7 @@ def test_pool_lowest_index_preference(events):
                 m.release(gone_uid)
 
 
-@settings(deadline=None, max_examples=60)
+@tiered(60)
 @given(traffic())
 def test_single_job_pool_never_cohosts(events):
     pool = IndexedPool("B", 1, CAPACITY, budget=None, single_job=True)

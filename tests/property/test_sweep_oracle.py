@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import (
@@ -36,7 +36,10 @@ from repro import (
 )
 from tests.conftest import jobset_strategy
 
-ORACLE = settings(max_examples=200, deadline=None)
+from tests.property.settings import tiered
+
+# ci-tier baseline: ~200 examples per kernel pair
+ORACLE = tiered(200)
 
 TOL = 1e-9
 

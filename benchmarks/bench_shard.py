@@ -1,0 +1,261 @@
+"""Sharded-service throughput + snapshot-restore benchmark: the scale guardrail.
+
+Two entry points:
+
+- ``python benchmarks/bench_shard.py`` — partitions the dec(3) 10k-job
+  workload across 4 shard workers with the router's own hash routing,
+  measures each shard's apply throughput independently, and reports the
+  **aggregate** events/s (the sum of per-shard rates — what N idle cores
+  would sustain; single-core CI cannot run the shards truly in parallel,
+  so the wall-clock figures are reported alongside, unweighted).  Also
+  times a 50k-event SQLite restore both ways: full event replay vs
+  latest-snapshot + O(delta).  Writes ``BENCH_shard.json`` at the repo
+  root and **fails** (exit 1) if aggregate speedup < :data:`MIN_SPEEDUP`
+  or snapshot restore advantage < :data:`MIN_RESTORE_SPEEDUP`.
+- ``pytest benchmarks/bench_shard.py`` — asserts the committed
+  ``BENCH_shard.json`` still meets both floors, plus a 1k-job smoke
+  checking the partitioned shard run covers the full stream.
+
+Correctness (byte-identical W=1, error parity, fail-stop) is pinned by
+``tests/service/test_shard.py`` — this file only guards speed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import dec_ladder, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service.runtime import SchedulerRuntime
+from repro.service.shard import WorkerSpec, ShardWorker, shard_for_submit
+from repro.service.storage import StoreWriter, open_store, restore_from_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_shard.json"
+
+N_JOBS = 10_000
+N_WORKERS = 4
+SEED = 2020
+BATCH = 32  # router pump batch size
+MIN_SPEEDUP = 5.0
+RESTORE_EVENTS = 50_000
+MIN_RESTORE_SPEEDUP = 5.0
+
+LADDER = dec_ladder(3)
+CAPS = [t.capacity for t in LADDER.types]
+CONFIG = {
+    "scheduler": "dec",
+    "ladder": [[t.capacity, t.rate] for t in LADDER.types],
+    "admission": ["fits-ladder"],
+}
+
+
+def make_requests(n_jobs: int, seed: int = SEED) -> list[dict]:
+    """The wire request stream for a dec(3) uniform workload."""
+    rng = np.random.default_rng(seed)
+    jobs = uniform_workload(n_jobs, rng, max_size=LADDER.capacity(len(CAPS)))
+    requests = []
+    for ev in event_stream(jobs):
+        if ev.kind is EventKind.ARRIVE:
+            requests.append(
+                {"op": "submit", "uid": ev.job.uid, "size": ev.job.size,
+                 "t": ev.job.arrival}
+            )
+        else:
+            requests.append({"op": "depart", "uid": ev.job.uid, "t": ev.job.departure})
+    return requests
+
+
+def partition(requests: list[dict], n_shards: int) -> list[list[dict]]:
+    """Hash-route each request exactly as the router does."""
+    shards: list[list[dict]] = [[] for _ in range(n_shards)]
+    home: dict[int, int] = {}
+    for request in requests:
+        uid = int(request["uid"])
+        if request["op"] == "submit":
+            shard = shard_for_submit(float(request["size"]), uid, n_shards, CAPS)
+            home[uid] = shard
+        else:
+            shard = home[uid]
+        shards[shard].append(request)
+    return shards
+
+
+def apply_in_batches(worker: ShardWorker, requests: list[dict]) -> float:
+    """Apply the shard's stream in router-sized batches; returns seconds."""
+    t0 = time.perf_counter()
+    for i in range(0, len(requests), BATCH):
+        responses = worker.apply(requests[i:i + BATCH])
+        for response in responses:
+            if not response.get("ok"):
+                raise AssertionError(f"benchmark request failed: {response}")
+    return time.perf_counter() - t0
+
+
+def run_throughput(n_jobs: int = N_JOBS, n_workers: int = N_WORKERS) -> dict:
+    """Single-loop baseline vs per-shard rates on the same workload."""
+    requests = make_requests(n_jobs)
+
+    single = ShardWorker(WorkerSpec(shard=0, n_shards=1, config=CONFIG))
+    single_s = apply_in_batches(single, requests)
+    single_rate = len(requests) / single_s
+
+    shard_rows = []
+    wall_s = 0.0
+    for shard, shard_requests in enumerate(partition(requests, n_workers)):
+        worker = ShardWorker(
+            WorkerSpec(shard=shard, n_shards=n_workers, config=CONFIG)
+        )
+        elapsed = apply_in_batches(worker, shard_requests)
+        wall_s += elapsed
+        shard_rows.append(
+            {
+                "shard": shard,
+                "events": len(shard_requests),
+                "seconds": round(elapsed, 4),
+                "events_per_s": round(len(shard_requests) / elapsed),
+            }
+        )
+    covered = sum(row["events"] for row in shard_rows)
+    assert covered == len(requests), (covered, len(requests))
+    aggregate_rate = sum(row["events_per_s"] for row in shard_rows)
+
+    return {
+        "n_jobs": n_jobs,
+        "events": len(requests),
+        "workers": n_workers,
+        "batch": BATCH,
+        "single_loop": {
+            "seconds": round(single_s, 4),
+            "events_per_s": round(single_rate),
+        },
+        "shards": shard_rows,
+        "aggregate_events_per_s": round(aggregate_rate),
+        "sequential_wall_s": round(wall_s, 4),
+        "speedup": round(aggregate_rate / single_rate, 3),
+    }
+
+
+def run_restore(n_events: int = RESTORE_EVENTS) -> dict:
+    """Full-replay vs snapshot+delta restore of a SQLite event log."""
+    requests = make_requests(n_events // 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        replay_store = open_store(f"sqlite:{Path(tmp) / 'replay.db'}")
+        snap_store = open_store(f"sqlite:{Path(tmp) / 'snap.db'}")
+        for store in (replay_store, snap_store):
+            runtime = SchedulerRuntime.create(
+                "dec", LADDER, admission=["fits-ladder"]
+            )
+            writer = StoreWriter(store, runtime, sync="never")
+            for request in requests:
+                if request["op"] == "submit":
+                    runtime.submit(
+                        request["size"], request["t"], uid=request["uid"]
+                    )
+                else:
+                    runtime.depart(request["uid"], request["t"])
+            writer.append_new()
+            if store is snap_store:
+                writer.compact()  # snapshot + prune: restore becomes O(delta)
+            writer.close()
+
+        replay_store = open_store(f"sqlite:{Path(tmp) / 'replay.db'}")
+        t0 = time.perf_counter()
+        full = restore_from_store(replay_store)
+        replay_s = time.perf_counter() - t0
+        replay_store.close()
+
+        snap_store = open_store(f"sqlite:{Path(tmp) / 'snap.db'}")
+        t0 = time.perf_counter()
+        fast = restore_from_store(snap_store)
+        snapshot_s = time.perf_counter() - t0
+        snap_store.close()
+
+    assert full.n_events == fast.n_events == len(requests)
+    assert full.snapshot_n is None and full.replayed == len(requests)
+    assert fast.snapshot_n == len(requests) and fast.replayed == 0
+    return {
+        "events": len(requests),
+        "full_replay_ms": round(replay_s * 1e3, 3),
+        "snapshot_restore_ms": round(snapshot_s * 1e3, 3),
+        "speedup": round(replay_s / snapshot_s, 3),
+    }
+
+
+def main() -> int:
+    throughput = run_throughput()
+    restore_row = run_restore()
+    payload = {
+        "workload": {"n_jobs": N_JOBS, "ladder": "dec(3)", "seed": SEED},
+        "min_speedup": MIN_SPEEDUP,
+        "min_restore_speedup": MIN_RESTORE_SPEEDUP,
+        "throughput": throughput,
+        "restore": restore_row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    single = throughput["single_loop"]["events_per_s"]
+    print(
+        f"single loop: {single} events/s; {throughput['workers']} shards "
+        f"aggregate {throughput['aggregate_events_per_s']} events/s "
+        f"({throughput['speedup']}x, sequential wall "
+        f"{throughput['sequential_wall_s']}s)"
+    )
+    print(
+        f"restore at {restore_row['events']} events: full replay "
+        f"{restore_row['full_replay_ms']}ms vs snapshot "
+        f"{restore_row['snapshot_restore_ms']}ms "
+        f"({restore_row['speedup']}x)"
+    )
+    failed = False
+    if throughput["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: aggregate speedup below the {MIN_SPEEDUP}x floor")
+        failed = True
+    if restore_row["speedup"] < MIN_RESTORE_SPEEDUP:
+        print(f"FAIL: snapshot restore below the {MIN_RESTORE_SPEEDUP}x floor")
+        failed = True
+    if failed:
+        return 1
+    print(f"OK: both floors met; written to {OUTPUT.name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI floor checks + smoke)
+# ---------------------------------------------------------------------------
+
+def test_committed_bench_meets_floors():
+    """The committed BENCH_shard.json records the acceptance run."""
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["workload"]["n_jobs"] == N_JOBS
+    assert payload["throughput"]["workers"] == N_WORKERS
+    assert payload["throughput"]["speedup"] >= payload["min_speedup"]
+    assert payload["restore"]["speedup"] >= payload["min_restore_speedup"]
+    assert payload["restore"]["events"] == RESTORE_EVENTS
+
+
+def test_partitioned_shards_cover_stream_at_1k():
+    """CI smoke: the hash partition covers every event exactly once and
+    every shard applies its slice cleanly."""
+    requests = make_requests(1_000, seed=7)
+    shards = partition(requests, N_WORKERS)
+    assert sum(len(s) for s in shards) == len(requests)
+    assert all(shards), "every shard should receive work"
+    total = 0
+    for shard, shard_requests in enumerate(shards):
+        worker = ShardWorker(
+            WorkerSpec(shard=shard, n_shards=N_WORKERS, config=CONFIG)
+        )
+        for response in worker.apply(shard_requests):
+            assert response.get("ok"), response
+        total += worker.runtime.n_events
+    assert total == len(requests)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

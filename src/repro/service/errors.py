@@ -30,6 +30,9 @@ code              retryable  meaning
                              event; the server drains (fail-stop)
 ``draining``      yes        server is shutting down gracefully; retry
                              against a restarted instance
+``shard-failed``  no         a worker shard died with this request pending
+                             or routed to it; the router drains (fail-stop)
+                             and the shard's store decides what was durable
 ================  =========  =============================================
 
 The full semantics are documented in ``docs/operations.md``.
@@ -51,6 +54,7 @@ ERROR_CODES: dict[str, bool] = {
     "idle-timeout": False,
     "storage-error": False,
     "draining": True,
+    "shard-failed": False,
 }
 
 

@@ -280,6 +280,20 @@ class SchedulerRuntime:
     def active_uids(self) -> list[int]:
         return sorted(self._open)
 
+    def uid_inventory(self) -> dict:
+        """The uid bookkeeping a routing front-end must mirror.
+
+        A recovered runtime knows every uid it ever saw, but a freshly
+        started router does not — it adopts this at attach time so
+        duplicate refusal and depart routing survive a restart.
+        """
+        return {
+            "clock": self.clock,
+            "open": {uid: entry[1] for uid, entry in self._open.items()},
+            "used": sorted(self._used_uids),
+            "rejected": sorted(self._rejected),
+        }
+
     def knows_uid(self, uid: int) -> bool:
         """True if a job with this uid was ever submitted (open, closed or
         rejected) — the server's duplicate-submit guard."""

@@ -51,39 +51,187 @@ import contextlib
 import json
 import math
 import signal
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .checkpoint import snapshot, write_checkpoint
 from .errors import OverloadError, ServiceError
 from .faults import FaultInjector, InjectedFault
 from .runtime import AdmissionError, SchedulerRuntime
+from .storage.base import StorageError
+from .storage.writer import StoreWriter
 from .wal import WALError, WALWriter
 
-__all__ = ["SchedulerServer", "serve_forever"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "JsonLineServer",
+    "RequestHandler",
+    "SchedulerServer",
+    "parse_line",
+    "serve_forever",
+]
 
 #: default cap on request line length (bytes), and on in-flight requests
 DEFAULT_MAX_LINE_BYTES = 1 << 16
 DEFAULT_MAX_INFLIGHT = 64
 
+#: failures the durable layer raises when it can no longer persist —
+#: the server fail-stops identically whichever backend is attached
+PERSISTENCE_ERRORS = (WALError, StorageError)
 
-class SchedulerServer:
-    """One runtime exposed over newline-delimited JSON on TCP."""
+
+def parse_line(line: str) -> "tuple[dict | None, dict | None]":
+    """Parse one request line into ``(request, None)`` or ``(None, error)``.
+
+    The error half is a complete failed-response document, so callers
+    (the single-loop handler and the shard router alike) reject malformed
+    lines with byte-identical responses.
+    """
+    if not line.strip():
+        return None, ServiceError("bad-request", "empty request").to_wire()
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, ServiceError(
+            "bad-request", f"malformed JSON: {exc}"
+        ).to_wire()
+    if not isinstance(request, dict):
+        return None, ServiceError(
+            "bad-request", "request must be a JSON object"
+        ).to_wire()
+    return request, None
+
+
+class RequestHandler:
+    """The scheduler ops behind the wire protocol, transport-free.
+
+    One request dict in, one response dict out, never raising — this is
+    the part of :class:`SchedulerServer` a shard worker process reuses, so
+    a sharded service answers every op byte-identically to the single-loop
+    server by construction.
+    """
+
+    def __init__(self, runtime: SchedulerRuntime) -> None:
+        self.runtime = runtime
+
+    def handle_line(self, line: str) -> dict:
+        """Process one request line synchronously (also used by tests).
+
+        Never raises: every failure becomes a structured error response.
+        """
+        request, error = parse_line(line)
+        if request is None:
+            return error if error is not None else ServiceError(
+                "bad-request", "empty request"
+            ).to_wire()
+        return self.handle_request(request)
+
+    def handle_request(self, request: dict) -> dict:
+        """Dispatch one parsed request to its op handler (never raises)."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return ServiceError("unknown-op", f"unknown op {op!r}").to_wire()
+        try:
+            return handler(request)  # type: ignore[no-any-return]
+        except ServiceError as exc:
+            return exc.to_wire()
+        except (AdmissionError, ValueError, TypeError, KeyError) as exc:
+            return ServiceError(
+                "invalid-request", f"{type(exc).__name__}: {exc}"
+            ).to_wire()
+
+    # -- ops ----------------------------------------------------------------
+    def _op_submit(self, request: dict) -> dict:
+        uid = request.get("uid")
+        if uid is not None and self.runtime.knows_uid(int(uid)):
+            # a redo of an acked submit (client retried across a reconnect);
+            # dedicated code so replaying clients can treat it as success
+            raise ServiceError(
+                "duplicate-uid",
+                f"job uid {int(uid)} was already submitted",
+                uid=int(uid),
+            )
+        admission = self.runtime.submit(
+            float(request["size"]),
+            float(request["t"]),
+            name=request.get("name"),
+            uid=uid,
+        )
+        out: dict = {"ok": True, "uid": admission.uid, "accepted": admission.accepted}
+        if admission.machine is not None:
+            out["machine"] = str(admission.machine)
+            out["type"] = admission.machine.type_index
+        else:
+            out["reason"] = admission.reason
+        return out
+
+    def _op_depart(self, request: dict) -> dict:
+        self.runtime.depart(int(request["uid"]), float(request["t"]))
+        return {"ok": True, "uid": int(request["uid"])}
+
+    def _op_advance(self, request: dict) -> dict:
+        self.runtime.advance(float(request["t"]))
+        return {"ok": True, "clock": self.runtime.clock}
+
+    def _op_stats(self, request: dict) -> dict:
+        clock = self.runtime.clock
+        return {
+            "ok": True,
+            "clock": None if not math.isfinite(clock) else clock,
+            "active": self.runtime.n_active,
+            "events": self.runtime.n_events,
+            "cost": self.runtime.cost(),
+            "busy_by_type": {
+                str(i): n for i, n in self.runtime.busy_machines_by_type().items()
+            },
+            "metrics": self.runtime.metrics.as_dict(),
+        }
+
+    def _op_schedule(self, request: dict) -> dict:
+        sched = self.runtime.schedule()
+        return {
+            "ok": True,
+            "cost": sched.cost(),
+            "jobs": len(sched),
+            "machines": len(sched.machines()),
+        }
+
+    def _op_checkpoint(self, request: dict) -> dict:
+        path = request.get("path")
+        if path:
+            write_checkpoint(self.runtime, path)
+            return {"ok": True, "path": str(path)}
+        return {"ok": True, "snapshot": snapshot(self.runtime)}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "bye": True}
+
+
+class JsonLineServer:
+    """The transport half of the service: newline-delimited JSON over TCP.
+
+    Owns everything protocol-agnostic — connection lifecycle, read
+    timeouts, line limits, the in-flight overload guard, graceful drain —
+    and leaves two hooks to subclasses: :meth:`_dispatch` (one request
+    line to one response dict) and :meth:`_drain_persistence` (make state
+    durable during drain).  :class:`SchedulerServer` plugs a runtime + WAL
+    into those hooks; :class:`repro.service.shard.ShardRouter` plugs in a
+    worker fleet — both get identical wire behaviour for free.
+    """
 
     def __init__(
         self,
-        runtime: SchedulerRuntime,
         *,
-        wal: WALWriter | None = None,
-        faults: FaultInjector | None = None,
+        metrics: "MetricsRegistry",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         read_timeout: float | None = None,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
-        self.runtime = runtime
-        self.wal = wal
-        self._faults = faults
+        self._transport_metrics = metrics
         self._max_inflight = max_inflight
         self._read_timeout = read_timeout
         self._max_line_bytes = max_line_bytes
@@ -95,7 +243,15 @@ class SchedulerServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._conn_tasks: set[asyncio.Task] = set()
-        runtime.metrics.counter("shed_requests")  # visible at zero in stats
+        metrics.counter("shed_requests")  # visible at zero in stats
+
+    # -- subclass hooks -----------------------------------------------------
+    async def _dispatch(self, line: str) -> dict:
+        """Turn one request line into one response dict (never raises)."""
+        raise NotImplementedError
+
+    async def _drain_persistence(self) -> None:
+        """Make state durable while draining (after in-flight settles)."""
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -117,7 +273,7 @@ class SchedulerServer:
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, finish in-flight requests,
-        make the WAL durable (fsync + final snapshot), drop connections."""
+        make state durable, drop connections."""
         if self._drained:
             return
         self._drained = True
@@ -128,15 +284,7 @@ class SchedulerServer:
             await self._server.wait_closed()
             self._server = None
         await self._idle.wait()  # every accepted request has been answered
-        if self.wal is not None:
-            try:
-                self.wal.sync()
-                self.wal.compact()
-                self.wal.close()
-            except WALError:
-                # fail-stop path: durability already failed once; shutdown
-                # must still complete so the process can be restarted.
-                self.wal.abandon()
+        await self._drain_persistence()
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -212,13 +360,13 @@ class SchedulerServer:
         await writer.drain()
 
     async def _respond(self, line: str) -> dict:
-        """Admission guard + fault hook + handler + WAL, in ack order."""
+        """Drain + overload guards around the subclass dispatch hook."""
         if self._draining:
             return ServiceError(
                 "draining", "server is shutting down; retry elsewhere"
             ).to_wire()
         if self._inflight >= self._max_inflight:
-            self.runtime.metrics.counter("shed_requests").inc()
+            self._transport_metrics.counter("shed_requests").inc()
             return OverloadError(
                 f"{self._inflight} requests in flight (limit "
                 f"{self._max_inflight}); retry later"
@@ -226,123 +374,69 @@ class SchedulerServer:
         self._inflight += 1
         self._idle.clear()
         try:
-            if self._faults is not None:
-                await self._faults.apoint("server.request")
-            response = self.handle_line(line)
-            if self.wal is not None and response.get("ok"):
-                try:
-                    self.wal.append_new()
-                except WALError as exc:
-                    # the event is applied in memory but not durable: tell
-                    # the client it failed and fail-stop the service.
-                    asyncio.get_running_loop().call_soon(self._shutdown.set)
-                    self._draining = True
-                    return ServiceError(
-                        "storage-error", f"write-ahead log failed: {exc}"
-                    ).to_wire()
-            return response
+            return await self._dispatch(line)
         finally:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
 
-    def handle_line(self, line: str) -> dict:
-        """Process one request line synchronously (also used by tests).
 
-        Never raises: every failure becomes a structured error response.
-        """
-        if not line.strip():
-            return ServiceError("bad-request", "empty request").to_wire()
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            return ServiceError("bad-request", f"malformed JSON: {exc}").to_wire()
-        if not isinstance(request, dict):
-            return ServiceError(
-                "bad-request", "request must be a JSON object"
-            ).to_wire()
-        op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
-        if handler is None:
-            return ServiceError("unknown-op", f"unknown op {op!r}").to_wire()
-        try:
-            return handler(request)
-        except ServiceError as exc:
-            return exc.to_wire()
-        except (AdmissionError, ValueError, TypeError, KeyError) as exc:
-            return ServiceError(
-                "invalid-request", f"{type(exc).__name__}: {exc}"
-            ).to_wire()
+class SchedulerServer(RequestHandler, JsonLineServer):
+    """One runtime exposed over newline-delimited JSON on TCP."""
 
-    # -- ops ----------------------------------------------------------------
-    def _op_submit(self, request: dict) -> dict:
-        uid = request.get("uid")
-        if uid is not None and self.runtime.knows_uid(int(uid)):
-            # a redo of an acked submit (client retried across a reconnect);
-            # dedicated code so replaying clients can treat it as success
-            raise ServiceError(
-                "duplicate-uid",
-                f"job uid {int(uid)} was already submitted",
-                uid=int(uid),
-            )
-        admission = self.runtime.submit(
-            float(request["size"]),
-            float(request["t"]),
-            name=request.get("name"),
-            uid=uid,
+    def __init__(
+        self,
+        runtime: SchedulerRuntime,
+        *,
+        wal: "WALWriter | StoreWriter | None" = None,
+        faults: FaultInjector | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        read_timeout: float | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ) -> None:
+        RequestHandler.__init__(self, runtime)
+        JsonLineServer.__init__(
+            self,
+            metrics=runtime.metrics,
+            max_inflight=max_inflight,
+            read_timeout=read_timeout,
+            max_line_bytes=max_line_bytes,
         )
-        out: dict = {"ok": True, "uid": admission.uid, "accepted": admission.accepted}
-        if admission.machine is not None:
-            out["machine"] = str(admission.machine)
-            out["type"] = admission.machine.type_index
-        else:
-            out["reason"] = admission.reason
-        return out
+        self.wal = wal
+        self._faults = faults
 
-    def _op_depart(self, request: dict) -> dict:
-        self.runtime.depart(int(request["uid"]), float(request["t"]))
-        return {"ok": True, "uid": int(request["uid"])}
+    async def _drain_persistence(self) -> None:
+        """Make the WAL/store durable: fsync + final snapshot + close."""
+        if self.wal is not None:
+            try:
+                self.wal.sync()
+                self.wal.compact()
+                self.wal.close()
+            except PERSISTENCE_ERRORS:
+                # fail-stop path: durability already failed once; shutdown
+                # must still complete so the process can be restarted.
+                self.wal.abandon()
 
-    def _op_advance(self, request: dict) -> dict:
-        self.runtime.advance(float(request["t"]))
-        return {"ok": True, "clock": self.runtime.clock}
-
-    def _op_stats(self, request: dict) -> dict:
-        clock = self.runtime.clock
-        return {
-            "ok": True,
-            "clock": None if not math.isfinite(clock) else clock,
-            "active": self.runtime.n_active,
-            "events": self.runtime.n_events,
-            "cost": self.runtime.cost(),
-            "busy_by_type": {
-                str(i): n for i, n in self.runtime.busy_machines_by_type().items()
-            },
-            "metrics": self.runtime.metrics.as_dict(),
-        }
-
-    def _op_schedule(self, request: dict) -> dict:
-        sched = self.runtime.schedule()
-        return {
-            "ok": True,
-            "cost": sched.cost(),
-            "jobs": len(sched),
-            "machines": len(sched.machines()),
-        }
-
-    def _op_checkpoint(self, request: dict) -> dict:
-        path = request.get("path")
-        if path:
-            write_checkpoint(self.runtime, path)
-            return {"ok": True, "path": str(path)}
-        return {"ok": True, "snapshot": snapshot(self.runtime)}
-
-    def _op_shutdown(self, request: dict) -> dict:
-        return {"ok": True, "bye": True}
-
+    async def _dispatch(self, line: str) -> dict:
+        """Fault hook + handler + WAL append, in ack order."""
+        if self._faults is not None:
+            await self._faults.apoint("server.request")
+        response = self.handle_line(line)
+        if self.wal is not None and response.get("ok"):
+            try:
+                self.wal.append_new()
+            except PERSISTENCE_ERRORS as exc:
+                # the event is applied in memory but not durable: tell
+                # the client it failed and fail-stop the service.
+                asyncio.get_running_loop().call_soon(self._shutdown.set)
+                self._draining = True
+                return ServiceError(
+                    "storage-error", f"write-ahead log failed: {exc}"
+                ).to_wire()
+        return response
 
 def _install_signal_handlers(
-    loop: asyncio.AbstractEventLoop, server: SchedulerServer
+    loop: asyncio.AbstractEventLoop, server: JsonLineServer
 ) -> list[signal.Signals]:
     installed: list[signal.Signals] = []
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -359,7 +453,7 @@ async def serve_forever(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
-    wal: WALWriter | None = None,
+    wal: "WALWriter | StoreWriter | None" = None,
     faults: FaultInjector | None = None,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     read_timeout: float | None = None,

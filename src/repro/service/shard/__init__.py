@@ -1,0 +1,45 @@
+"""repro.service.shard — the sharded multi-worker service.
+
+A thin router process (:class:`ShardRouter`, speaking the exact wire
+protocol of the single-loop server) hash-routes jobs by machine-type
+pool to N worker processes, each owning its own
+:class:`~repro.service.runtime.SchedulerRuntime` and its own pluggable
+:class:`~repro.service.storage.base.StateStore`.  Admissions are batched
+per pump tick, per-shard metrics aggregate in the router's ``stats`` op,
+and a dead shard fail-stops the whole service (``shard-failed``).
+
+``bshm serve --workers N --storage memory|sqlite:PATH`` is the CLI
+front; :class:`LocalWorkerHandle` runs the same shard core in-process
+for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from .router import (
+    DEFAULT_QUEUE_DEPTH,
+    LocalWorkerHandle,
+    ShardError,
+    ShardRouter,
+    WorkerHandle,
+    serve_sharded,
+    start_worker_fleet,
+)
+from .routing import shard_for_submit, shard_for_uid, size_class
+from .worker import ShardWorker, WorkerSpec, spawn_worker, worker_main
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "LocalWorkerHandle",
+    "ShardError",
+    "ShardRouter",
+    "ShardWorker",
+    "WorkerHandle",
+    "WorkerSpec",
+    "serve_sharded",
+    "shard_for_submit",
+    "shard_for_uid",
+    "size_class",
+    "spawn_worker",
+    "start_worker_fleet",
+    "worker_main",
+]

@@ -1,0 +1,664 @@
+"""The shard router: one TCP front, N worker shards, batched admissions.
+
+:class:`ShardRouter` is the sharded counterpart of
+:class:`~repro.service.server.SchedulerServer` — it reuses the same
+:class:`~repro.service.server.JsonLineServer` transport (same framing,
+same overload guard, same drain), but instead of applying ops to a local
+runtime it **routes** them:
+
+- ``submit`` — validated against the router's mirror of the global
+  stream contract (clock monotonicity, uid uniqueness, size sanity — the
+  exact checks, in the exact order, with the exact messages of the
+  single-loop runtime), assigned a uid, and hash-routed by machine-type
+  pool (:func:`~repro.service.shard.routing.shard_for_submit`);
+- ``depart`` — routed to the shard that owns the uid (uid-hash fallback
+  for unknown uids, which then answer with the single-loop error);
+- ``advance`` — broadcast, so every shard's event log carries the full
+  clock history;
+- ``stats`` / ``schedule`` — broadcast and aggregated (sums in shard
+  order, so the totals are deterministic).
+
+Requests to one worker queue up in a **bounded** per-worker admission
+queue and are flushed as one batch per pump cycle — while the worker
+chews on batch *k*, arrivals accumulate into batch *k+1* (natural
+per-tick batching).  A full queue answers with the retryable
+``overloaded`` error instead of queueing without bound; a dead worker
+fails its pending requests with ``shard-failed`` and the router drains
+(the same fail-stop discipline the single-loop server applies to a
+broken WAL).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+from typing import Callable, Iterable, Sequence
+
+from ..errors import OverloadError, ServiceError
+from ..metrics import MetricsRegistry
+from ..runtime import AdmissionError
+from ..server import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_LINE_BYTES,
+    JsonLineServer,
+    _install_signal_handlers,
+    parse_line,
+)
+from .routing import shard_for_submit, shard_for_uid
+from .worker import ShardWorker, WorkerSpec, spawn_worker
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "LocalWorkerHandle",
+    "ShardError",
+    "ShardRouter",
+    "WorkerHandle",
+    "serve_sharded",
+    "start_worker_fleet",
+]
+
+#: per-worker admission queue bound (requests, not bytes)
+DEFAULT_QUEUE_DEPTH = 256
+
+#: seconds a spawned worker gets to rebuild its shard and report ready
+WORKER_START_TIMEOUT = 60.0
+
+
+class ShardError(RuntimeError):
+    """The worker fleet could not be started or spoke a broken protocol."""
+
+
+class _WorkerDied(Exception):
+    """Internal: the shard behind a handle is gone (reason in ``args``)."""
+
+
+class BaseWorkerHandle:
+    """Queue + pump shared by process-backed and in-process handles.
+
+    Subclasses implement :meth:`_apply_batch` (one admission batch in,
+    one response list out) and :meth:`_shutdown_worker` (graceful drain,
+    returns the shard summary); both raise :class:`_WorkerDied` when the
+    shard is gone.
+    """
+
+    def __init__(self, shard: int, *, queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.shard = shard
+        self.info: dict | None = None
+        self.dead = False
+        self.death_reason = ""
+        self._closing = False
+        self._queue_depth = queue_depth
+        self._queue: "asyncio.Queue[tuple] | None" = None
+        self._pump_task: "asyncio.Task | None" = None
+        self._on_death: "Callable[[int, str], None] | None" = None
+
+    # -- subclass hooks -----------------------------------------------------
+    async def _apply_batch(self, requests: list[dict]) -> list[dict]:
+        raise NotImplementedError
+
+    async def _shutdown_worker(self) -> dict:
+        raise NotImplementedError
+
+    # -- router-facing surface ----------------------------------------------
+    async def attach(self, on_death: "Callable[[int, str], None]") -> None:
+        """Start the pump task (must run inside the router's event loop)."""
+        if self._queue is not None:
+            return
+        self._on_death = on_death
+        self._queue = asyncio.Queue(maxsize=self._queue_depth)
+        self._pump_task = asyncio.create_task(self._pump())
+
+    def has_room(self) -> bool:
+        """True if :meth:`enqueue` will not raise ``QueueFull`` right now."""
+        if self.dead:
+            return True  # enqueue answers immediately with shard-failed
+        return self._queue is not None and not self._queue.full()
+
+    def enqueue(self, request: dict) -> "asyncio.Future[dict]":
+        """Queue one request; the future resolves to the shard's response.
+
+        Raises :class:`asyncio.QueueFull` when the admission queue is at
+        its bound — the router turns that into the ``overloaded`` error.
+        """
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        if self.dead or self._closing or self._queue is None:
+            future.set_result(self._dead_response())
+            return future
+        self._queue.put_nowait(("apply", request, future))
+        return future
+
+    async def shutdown(self) -> dict | None:
+        """Graceful drain: flush the queue, close the shard, return its
+        summary (None if the shard already died)."""
+        if self._queue is None or self.dead:
+            return None
+        self._closing = True
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        await self._queue.put(("shutdown", None, future))
+        summary = await future
+        if self._pump_task is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._pump_task
+        if isinstance(summary, dict) and "error" not in summary:
+            return summary
+        return None
+
+    # -- internals ----------------------------------------------------------
+    def _dead_response(self) -> dict:
+        reason = self.death_reason or "worker is shutting down"
+        return ServiceError(
+            "shard-failed", f"worker shard {self.shard} died: {reason}"
+        ).to_wire()
+
+    def _mark_dead(self, reason: str, items: "list[tuple]") -> None:
+        self.dead = True
+        self.death_reason = reason
+        for item in items:
+            future = item[2]
+            if not future.done():
+                future.set_result(self._dead_response())
+        if not self._closing and self._on_death is not None:
+            self._on_death(self.shard, reason)
+
+    async def _pump(self) -> None:
+        """Flush the admission queue in batches, lockstep with the shard."""
+        assert self._queue is not None
+        while True:
+            items: list[tuple] = [await self._queue.get()]
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            i = 0
+            while i < len(items):
+                if items[i][0] == "apply":
+                    j = i
+                    while j < len(items) and items[j][0] == "apply":
+                        j += 1
+                    batch = items[i:j]
+                    requests = [item[1] for item in batch]
+                    try:
+                        responses = await self._apply_batch(requests)
+                    except _WorkerDied as exc:
+                        self._mark_dead(str(exc), items[i:])
+                        return
+                    if len(responses) != len(batch):
+                        self._mark_dead(
+                            f"shard answered {len(responses)} of "
+                            f"{len(batch)} batched requests",
+                            items[i:],
+                        )
+                        return
+                    for item, response in zip(batch, responses):
+                        if not item[2].done():
+                            item[2].set_result(response)
+                    i = j
+                else:  # shutdown sentinel: drain the shard and stop pumping
+                    future = items[i][2]
+                    try:
+                        summary = await self._shutdown_worker()
+                    except _WorkerDied as exc:
+                        self._mark_dead(str(exc), items[i:])
+                        return
+                    self.dead = True
+                    self.death_reason = "worker was shut down"
+                    if not future.done():
+                        future.set_result(summary)
+                    for item in items[i + 1:]:
+                        if not item[2].done():
+                            item[2].set_result(self._dead_response())
+                    return
+
+
+class WorkerHandle(BaseWorkerHandle):
+    """A worker child process reached over a :mod:`multiprocessing` pipe.
+
+    Pipe sends/receives run in the default executor so the router's event
+    loop never blocks on a slow shard.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        process: object,
+        conn: object,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> None:
+        super().__init__(shard, queue_depth=queue_depth)
+        self.process = process
+        self.conn = conn
+
+    def wait_ready(self, timeout: float = WORKER_START_TIMEOUT) -> dict:
+        """Block (before the event loop runs) for the child's ready message."""
+        if not self.conn.poll(timeout):  # type: ignore[attr-defined]
+            raise ShardError(
+                f"worker {self.shard} did not become ready within {timeout:g}s"
+            )
+        message = self.conn.recv()  # type: ignore[attr-defined]
+        if not (isinstance(message, tuple) and message and message[0] == "ready"):
+            detail = message[1] if isinstance(message, tuple) and len(message) > 1 else message
+            raise ShardError(f"worker {self.shard} failed to start: {detail}")
+        self.info = dict(message[1])
+        return self.info
+
+    def terminate(self) -> None:
+        """Hard-kill the child (startup-failure cleanup path)."""
+        with contextlib.suppress(Exception):
+            self.conn.close()  # type: ignore[attr-defined]
+        with contextlib.suppress(Exception):
+            self.process.terminate()  # type: ignore[attr-defined]
+            self.process.join(timeout=5)  # type: ignore[attr-defined]
+
+    async def _exchange(self, message: tuple, expect: str) -> tuple:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self.conn.send, message)  # type: ignore[attr-defined]
+            reply = await loop.run_in_executor(None, self.conn.recv)  # type: ignore[attr-defined]
+        except (EOFError, OSError) as exc:
+            raise _WorkerDied(f"pipe broke: {exc}") from exc
+        if not (isinstance(reply, tuple) and reply and reply[0] == expect):
+            if isinstance(reply, tuple) and len(reply) > 1 and reply[0] == "dead":
+                raise _WorkerDied(str(reply[1]))
+            raise _WorkerDied(f"unexpected reply {reply!r} to {message[0]!r}")
+        return reply
+
+    async def _apply_batch(self, requests: list[dict]) -> list[dict]:
+        reply = await self._exchange(("apply", requests), "applied")
+        return list(reply[1])
+
+    async def _shutdown_worker(self) -> dict:
+        reply = await self._exchange(("shutdown",), "bye")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._join_process)
+        return dict(reply[1])
+
+    def _join_process(self) -> None:
+        with contextlib.suppress(Exception):
+            self.process.join(timeout=10)  # type: ignore[attr-defined]
+
+
+class LocalWorkerHandle(BaseWorkerHandle):
+    """An in-process shard: same interface, no child process.
+
+    Batches apply synchronously on the event loop (the shard core is
+    fast); used by tests, benchmarks, and anywhere process isolation is
+    not worth its startup cost.
+    """
+
+    def __init__(
+        self, spec: WorkerSpec, *, queue_depth: int = DEFAULT_QUEUE_DEPTH
+    ) -> None:
+        super().__init__(spec.shard, queue_depth=queue_depth)
+        self.worker = ShardWorker(spec)
+        self.info = self.worker.ready_info()
+
+    async def _apply_batch(self, requests: list[dict]) -> list[dict]:
+        try:
+            return self.worker.apply(requests)
+        except Exception as exc:  # noqa: BLE001 - fail-stop like the child
+            raise _WorkerDied(f"shard {self.shard} store failed: {exc}") from exc
+
+    async def _shutdown_worker(self) -> dict:
+        return self.worker.shutdown()
+
+
+class ShardRouter(JsonLineServer):
+    """The TCP front of a sharded service (see module docstring)."""
+
+    def __init__(
+        self,
+        handles: Sequence[BaseWorkerHandle],
+        capacities: Iterable[float],
+        *,
+        metrics: MetricsRegistry | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        read_timeout: float | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ) -> None:
+        if not handles:
+            raise ValueError("a shard router needs at least one worker handle")
+        self.handles = list(handles)
+        self.capacities = [float(c) for c in capacities]
+        if not self.capacities:
+            raise ValueError("capacities must describe at least one machine type")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        JsonLineServer.__init__(
+            self,
+            metrics=self.metrics,
+            max_inflight=max_inflight,
+            read_timeout=read_timeout,
+            max_line_bytes=max_line_bytes,
+        )
+        self.summaries: list[dict] = []
+        # the router mirrors the single-loop runtime's global stream
+        # contract so cross-shard invariants (clock monotonicity, uid
+        # uniqueness) are enforced with identical errors
+        self._clock = -math.inf
+        self._used_uids: set[int] = set()
+        self._next_uid = 0
+        self._uid_shard: dict[int, int] = {}
+        self._arrival: dict[int, float] = {}  # accepted open jobs
+        self._rejected: set[int] = set()
+        # recovered shards remember their uids; a fresh router does not —
+        # adopt each worker's inventory or post-restart departs misroute
+        # and duplicate submits slip through on the wrong shard
+        for handle in self.handles:
+            self._adopt_inventory(handle.shard, handle.info)
+
+    def _adopt_inventory(self, shard: int, info: dict | None) -> None:
+        inventory = info.get("inventory") if info else None
+        if not inventory:
+            return
+        self._clock = max(self._clock, float(inventory["clock"]))
+        for uid in inventory["used"]:
+            self._used_uids.add(int(uid))
+        for uid_raw, arrival in inventory["open"].items():
+            uid = int(uid_raw)
+            self._arrival[uid] = float(arrival)
+            self._uid_shard[uid] = shard
+        for uid in inventory["rejected"]:
+            self._uid_shard[int(uid)] = shard
+            self._rejected.add(int(uid))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.handles)
+
+    async def attach(self) -> None:
+        """Start every worker pump (idempotent; needs the running loop)."""
+        for handle in self.handles:
+            await handle.attach(self._worker_died)
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        await self.attach()
+        return await super().start(host, port)
+
+    def _worker_died(self, shard: int, reason: str) -> None:
+        # fail-stop: a lost shard is a lost slice of state — drain, exactly
+        # like the single-loop server after a WAL failure
+        self._draining = True
+        self._shutdown.set()
+
+    async def _drain_persistence(self) -> None:
+        """Drain every shard (final sync + snapshot + close, per store)."""
+        for handle in self.handles:
+            summary = await handle.shutdown()
+            if summary is not None:
+                self.summaries.append(summary)
+
+    # -- dispatch -----------------------------------------------------------
+    async def _dispatch(self, line: str) -> dict:
+        request, error = parse_line(line)
+        if request is None:
+            return error if error is not None else ServiceError(
+                "bad-request", "empty request"
+            ).to_wire()
+        return await self.route(request)
+
+    async def route(self, request: dict) -> dict:
+        """Route one parsed request to its shard(s) (never raises)."""
+        op = request.get("op")
+        route = (
+            getattr(self, f"_route_{op}", None) if isinstance(op, str) else None
+        )
+        if route is None:
+            return ServiceError("unknown-op", f"unknown op {op!r}").to_wire()
+        try:
+            return await route(request)  # type: ignore[no-any-return]
+        except ServiceError as exc:
+            return exc.to_wire()
+        except (AdmissionError, ValueError, TypeError, KeyError) as exc:
+            return ServiceError(
+                "invalid-request", f"{type(exc).__name__}: {exc}"
+            ).to_wire()
+
+    def _enqueue(self, shard: int, request: dict) -> "asyncio.Future[dict]":
+        try:
+            return self.handles[shard].enqueue(request)
+        except asyncio.QueueFull:
+            self.metrics.counter("shed_requests").inc()
+            raise OverloadError(
+                f"worker shard {shard} admission queue is full "
+                f"({self.handles[shard]._queue_depth} pending); retry later"
+            ) from None
+
+    def _broadcast(self, request: dict) -> "list[asyncio.Future[dict]]":
+        # check-then-enqueue with no await in between, so a broadcast is
+        # all-or-nothing: either every shard gets the op or none does
+        if any(not handle.has_room() for handle in self.handles):
+            self.metrics.counter("shed_requests").inc()
+            raise OverloadError("a worker admission queue is full; retry later")
+        return [self._enqueue(k, request) for k in range(self.n_shards)]
+
+    # -- routed ops ---------------------------------------------------------
+    async def _route_submit(self, request: dict) -> dict:
+        uid_raw = request.get("uid")
+        if uid_raw is not None and int(uid_raw) in self._used_uids:
+            raise ServiceError(
+                "duplicate-uid",
+                f"job uid {int(uid_raw)} was already submitted",
+                uid=int(uid_raw),
+            )
+        size = float(request["size"])
+        t = float(request["t"])
+        if not math.isfinite(t):
+            raise AdmissionError("arrival time must be finite")
+        if t < self._clock:
+            raise AdmissionError(
+                f"time ran backwards: arrival {t:g} < clock {self._clock:g}"
+            )
+        if uid_raw is None:
+            while self._next_uid in self._used_uids:
+                self._next_uid += 1
+            uid = self._next_uid
+        else:
+            uid = int(uid_raw)
+        if size <= 0 or not math.isfinite(size):
+            raise AdmissionError(
+                f"job size must be positive and finite, got {size}"
+            )
+        shard = shard_for_submit(size, uid, self.n_shards, self.capacities)
+        forwarded = dict(request)
+        forwarded["uid"] = uid
+        future = self._enqueue(shard, forwarded)
+        # routed: commit the mirror at the serialization point (enqueue
+        # order is the global event order)
+        self._used_uids.add(uid)
+        self._clock = t
+        self._uid_shard[uid] = shard
+        response = await future
+        if response.get("ok"):
+            if response.get("accepted"):
+                self._arrival[uid] = t
+            else:
+                self._rejected.add(uid)
+        return response
+
+    async def _route_depart(self, request: dict) -> dict:
+        uid = int(request["uid"])
+        t = float(request["t"])
+        if not math.isfinite(t):
+            raise AdmissionError("departure time must be finite")
+        if t < self._clock:
+            raise AdmissionError(
+                f"time ran backwards: departure {t:g} < clock {self._clock:g}"
+            )
+        arrival = self._arrival.get(uid)
+        if arrival is not None and not t > arrival:
+            raise AdmissionError(
+                f"job {uid} cannot depart at {t:g} <= its arrival {arrival:g}"
+            )
+        shard = self._uid_shard.get(uid)
+        if shard is None:
+            # never submitted (or already departed): the uid-hash fallback
+            # shard answers with the single-loop unknown-uid error and no
+            # shard's clock moves
+            return await self._enqueue(shard_for_uid(uid, self.n_shards), request)
+        future = self._enqueue(shard, request)
+        if arrival is not None or uid in self._rejected:
+            # outcome is certain (every failure mode was checked against
+            # the mirror): commit the clock at the serialization point
+            self._clock = t
+            if arrival is not None:
+                del self._arrival[uid]
+                del self._uid_shard[uid]
+            return await future
+        # the depart raced its own un-acked submit: commit on acknowledgement
+        response = await future
+        if response.get("ok"):
+            self._clock = max(self._clock, t)
+            if uid in self._arrival:
+                del self._arrival[uid]
+                del self._uid_shard[uid]
+        return response
+
+    async def _route_advance(self, request: dict) -> dict:
+        t = float(request["t"])
+        if not math.isfinite(t):
+            raise AdmissionError("time must be finite")
+        if t < self._clock:
+            raise AdmissionError(
+                f"time ran backwards: advance {t:g} < clock {self._clock:g}"
+            )
+        futures = self._broadcast(request)
+        self._clock = t
+        for response in await asyncio.gather(*futures):
+            if not response.get("ok"):
+                return response
+        return {"ok": True, "clock": t}
+
+    async def _route_stats(self, request: dict) -> dict:
+        responses = await asyncio.gather(*self._broadcast({"op": "stats"}))
+        for response in responses:
+            if not response.get("ok"):
+                return response
+        busy: dict[str, int] = {}
+        for response in responses:
+            for type_index, n in response.get("busy_by_type", {}).items():
+                busy[type_index] = busy.get(type_index, 0) + int(n)
+        return {
+            "ok": True,
+            "clock": None if not math.isfinite(self._clock) else self._clock,
+            "active": sum(int(r["active"]) for r in responses),
+            "events": sum(int(r["events"]) for r in responses),
+            "cost": sum(float(r["cost"]) for r in responses),
+            "busy_by_type": {k: busy[k] for k in sorted(busy, key=int)},
+            "workers": self.n_shards,
+            "shards": list(responses),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    async def _route_schedule(self, request: dict) -> dict:
+        responses = await asyncio.gather(*self._broadcast({"op": "schedule"}))
+        for response in responses:
+            if not response.get("ok"):
+                return response
+        return {
+            "ok": True,
+            "cost": sum(float(r["cost"]) for r in responses),
+            "jobs": sum(int(r["jobs"]) for r in responses),
+            "machines": sum(int(r["machines"]) for r in responses),
+        }
+
+    async def _route_checkpoint(self, request: dict) -> dict:
+        if self.n_shards == 1:
+            return await self._enqueue(0, request)
+        raise ServiceError(
+            "invalid-request",
+            "checkpoint is unavailable with more than one worker; "
+            "each shard persists its own store",
+        )
+
+    async def _route_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "bye": True}
+
+
+def start_worker_fleet(
+    n_workers: int,
+    config: dict,
+    *,
+    storage: str = "memory",
+    sync: str = "batch",
+    batch_every: int = 32,
+    compact_every: int = 0,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    on_ready: "Callable[[int, dict], None] | None" = None,
+) -> list[WorkerHandle]:
+    """Spawn ``n_workers`` shard processes and wait until all are ready.
+
+    Children start concurrently (spawn + per-shard recovery overlap);
+    ``on_ready(shard, info)`` fires per worker as it reports in.  On any
+    startup failure every already-started child is terminated before the
+    :class:`ShardError` propagates.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    handles: list[WorkerHandle] = []
+    try:
+        for shard in range(n_workers):
+            spec = WorkerSpec(
+                shard=shard,
+                n_shards=n_workers,
+                config=dict(config),
+                storage=storage,
+                sync=sync,
+                batch_every=batch_every,
+                compact_every=compact_every,
+            )
+            process, conn = spawn_worker(spec)
+            handles.append(
+                WorkerHandle(shard, process, conn, queue_depth=queue_depth)
+            )
+        for handle in handles:
+            info = handle.wait_ready()
+            if on_ready is not None:
+                on_ready(handle.shard, info)
+    except Exception:
+        for handle in handles:
+            handle.terminate()
+        raise
+    return handles
+
+
+async def serve_sharded(
+    handles: Sequence[BaseWorkerHandle],
+    capacities: Iterable[float],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    metrics: MetricsRegistry | None = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    read_timeout: float | None = None,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    on_ready: "Callable[[str, int], None] | None" = None,
+) -> list[dict]:
+    """Run a shard router until shutdown; returns the shard summaries.
+
+    The sharded analogue of :func:`repro.service.server.serve_forever`:
+    same signal handling, same graceful drain, same ``on_ready`` hook.
+    """
+    router = ShardRouter(
+        handles,
+        capacities,
+        metrics=metrics,
+        max_inflight=max_inflight,
+        read_timeout=read_timeout,
+        max_line_bytes=max_line_bytes,
+    )
+    loop = asyncio.get_running_loop()
+    installed = _install_signal_handlers(loop, router)
+    try:
+        bound_host, bound_port = await router.start(host, port)
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        await router.wait_shutdown()
+        return router.summaries
+    finally:
+        for sig in installed:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(sig)

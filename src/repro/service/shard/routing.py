@@ -1,0 +1,84 @@
+"""Deterministic job-to-shard routing for the sharded service.
+
+The router hash-routes submits by **machine-type pool**: a job's size
+class (the smallest ladder type that fits it — exactly the scheduler's
+``_size_class``) decides which worker owns it, so each worker's runtime
+concentrates one slice of the type ladder and its Group-A pools fill the
+way the single-loop scheduler would fill them for that slice.
+
+- ``n_shards <= m`` — classes are striped round-robin over workers:
+  class ``c`` goes to worker ``(c - 1) % n_shards``.
+- ``n_shards > m`` — workers are block-partitioned among the classes
+  (class ``c`` owns a contiguous block of workers) and jobs spread
+  within the block by a mixed uid hash.
+- no usable size class (oversized job, malformed size) — fall back to
+  the uid hash over all workers; the worker's runtime rejects or errors
+  exactly as the single-loop runtime would.
+
+Everything here is a pure function of ``(size, uid, n_shards,
+capacities)`` — no wall clock, no RNG — so a replayed stream routes to
+byte-identical shards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["shard_for_submit", "shard_for_uid", "size_class"]
+
+
+def _mix(x: int) -> int:
+    """Deterministic 32-bit integer mix (splitmix-style avalanche)."""
+    x &= 0xFFFFFFFF
+    x = ((x ^ (x >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    x = ((x ^ (x >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    return x ^ (x >> 16)
+
+
+def size_class(size: float, capacities: Sequence[float]) -> int | None:
+    """The 1-based index of the smallest type that fits ``size``.
+
+    Mirrors the schedulers' ``_size_class`` (same relative tolerance).
+    Returns None when no type fits or the size is not a positive finite
+    number — the caller falls back to uid-hash routing.
+    """
+    try:
+        s = float(size)
+    except (TypeError, ValueError):
+        return None
+    if not math.isfinite(s) or s <= 0:
+        return None
+    for i, cap in enumerate(capacities, start=1):
+        if s <= cap * (1 + 1e-12):
+            return i
+    return None
+
+
+def shard_for_uid(uid: int, n_shards: int) -> int:
+    """Uid-hash fallback: spreads uids evenly and deterministically."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return _mix(int(uid)) % n_shards
+
+
+def shard_for_submit(
+    size: float, uid: int, n_shards: int, capacities: Sequence[float]
+) -> int:
+    """The worker that owns a submitted job (see module docstring)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards == 1:
+        return 0
+    cls = size_class(size, capacities)
+    if cls is None:
+        return shard_for_uid(uid, n_shards)
+    m = len(capacities)
+    if n_shards <= m:
+        return (cls - 1) % n_shards
+    # block-partition the workers among the m classes: each class owns
+    # floor(n/m) workers, the first n % m classes one extra
+    base, extra = divmod(n_shards, m)
+    start = (cls - 1) * base + min(cls - 1, extra)
+    width = base + (1 if cls - 1 < extra else 0)
+    return start + _mix(int(uid)) % width

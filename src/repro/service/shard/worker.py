@@ -1,0 +1,190 @@
+"""One shard: a worker process owning a runtime and its private store.
+
+A worker is the single-loop service minus the TCP transport: the same
+:class:`~repro.service.server.RequestHandler` op semantics, the same
+write-ahead ordering (apply to the runtime, append to the store, *then*
+acknowledge), one :class:`~repro.service.storage.writer.StoreWriter`
+over its own :class:`~repro.service.storage.base.StateStore`.  The router
+talks to it over a :mod:`multiprocessing` pipe with a deliberately tiny
+protocol::
+
+    child  -> parent   ("ready", info)          once, after (re)building state
+    parent -> child    ("apply", [request, …])  one admission batch per tick
+    child  -> parent   ("applied", [response, …])
+    parent -> child    ("shutdown",)            graceful drain
+    child  -> parent   ("bye", summary)         final state summary
+    child  -> parent   ("dead", reason)         fail-stop: the store broke
+
+Batches are the durability unit: the whole batch is applied and appended
+before any response in it is sent, so an acked request is in the store
+(up to the writer's sync policy) — the per-request guarantee of the
+single-loop server at batch granularity.
+
+:class:`ShardWorker` is the transport-free core; :func:`worker_main` is
+the child-process loop; :class:`LocalWorkerHandle` (in
+:mod:`repro.service.shard.router`) drives the same core in-process for
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+
+from ..checkpoint import CheckpointError
+from ..server import RequestHandler
+from ..storage import StoreWriter, open_store, restore_from_store, shard_store_spec
+
+__all__ = ["ShardWorker", "WorkerSpec", "spawn_worker", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to (re)build its shard.
+
+    Plain data only — the spec is pickled to the child on spawn and must
+    describe the runtime declaratively (the same config dict a checkpoint
+    carries: scheduler wire name, ladder, admission specs).
+    """
+
+    shard: int
+    n_shards: int
+    config: dict  # SchedulerRuntime.create(...)-style config
+    storage: str = "memory"  # service-level spec; sharded per worker
+    sync: str = "batch"
+    batch_every: int = 32
+    compact_every: int = 0
+    extra: dict = field(default_factory=dict)  # forward-compatible knobs
+
+    @property
+    def store_spec(self) -> str:
+        """This shard's private storage spec (``sqlite:…`` gets a suffix)."""
+        return shard_store_spec(self.storage, self.shard, self.n_shards)
+
+
+class ShardWorker(RequestHandler):
+    """The transport-free shard core: handler + runtime + store writer.
+
+    Building one opens (and if necessary recovers from) the shard's
+    store: latest snapshot + O(delta) replay, exactly like ``bshm serve``
+    restarting over its WAL directory.
+    """
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        store = open_store(spec.store_spec)
+        recovered = restore_from_store(store, config=spec.config)
+        super().__init__(recovered.runtime)
+        self.spec = spec
+        self.recovered = recovered
+        self.writer = StoreWriter(
+            store,
+            recovered.runtime,
+            sync=spec.sync,
+            batch_every=spec.batch_every,
+            compact_every=spec.compact_every,
+        )
+
+    def apply(self, requests: list[dict]) -> list[dict]:
+        """Apply one admission batch; durable (per sync policy) on return.
+
+        Raises :class:`~repro.service.storage.base.StorageError` when the
+        store can no longer persist — the caller must fail-stop.
+        """
+        responses = [self.handle_request(request) for request in requests]
+        self.writer.append_new()
+        return responses
+
+    def summary(self) -> dict:
+        """The shard's aggregate state (the router merges these)."""
+        return {
+            "shard": self.spec.shard,
+            "events": self.runtime.n_events,
+            "active": self.runtime.n_active,
+            "cost": self.runtime.cost(),
+            "store": self.writer.store.description,
+        }
+
+    def ready_info(self) -> dict:
+        """The handshake payload: recovery summary + the uid inventory the
+        router adopts so duplicate refusal and depart routing survive a
+        restart (the runtime remembers its uids; a fresh router does not)."""
+        return {
+            "shard": self.spec.shard,
+            "events": self.runtime.n_events,
+            "recovered": self.recovered.describe(),
+            "store": self.writer.store.description,
+            "inventory": self.runtime.uid_inventory(),
+        }
+
+    def shutdown(self) -> dict:
+        """Graceful drain: final sync + snapshot + close; returns summary."""
+        out = self.summary()
+        try:
+            self.writer.sync()
+            self.writer.compact()
+            self.writer.close()
+        except CheckpointError:
+            # fail-stop path: durability already failed once; shutdown
+            # must still complete so the shard can be restarted.
+            self.writer.abandon()
+        return out
+
+
+def worker_main(conn: Connection, spec: WorkerSpec) -> None:
+    """Child-process loop: build the shard, then serve pipe messages."""
+    try:
+        worker = ShardWorker(spec)
+    except Exception as exc:  # noqa: BLE001 - report, then die visibly
+        conn.send(("dead", f"shard {spec.shard} failed to start: {exc}"))
+        conn.close()
+        return
+    conn.send(("ready", worker.ready_info()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # the router vanished: abandon (crash-consistent store) and exit
+            worker.writer.abandon()
+            return
+        kind = message[0] if isinstance(message, tuple) and message else None
+        if kind == "apply":
+            try:
+                responses = worker.apply(list(message[1]))
+            except Exception as exc:  # noqa: BLE001 - fail-stop, tell the router
+                conn.send(("dead", f"shard {spec.shard} store failed: {exc}"))
+                worker.writer.abandon()
+                conn.close()
+                return
+            conn.send(("applied", responses))
+        elif kind == "shutdown":
+            conn.send(("bye", worker.shutdown()))
+            conn.close()
+            return
+        else:
+            conn.send(("dead", f"shard {spec.shard}: bad control message {kind!r}"))
+            worker.writer.abandon()
+            conn.close()
+            return
+
+
+def spawn_worker(
+    spec: WorkerSpec, *, ctx: BaseContext | None = None
+) -> tuple[BaseProcess, Connection]:
+    """Start one worker child; returns ``(process, parent_end_of_pipe)``.
+
+    Uses the ``spawn`` start method by default: children get a fresh
+    interpreter, so the router's asyncio loop, signal handlers and open
+    sockets are never inherited.
+    """
+    if ctx is None:
+        ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(
+        target=worker_main, args=(child_conn, spec), daemon=True
+    )
+    process.start()
+    child_conn.close()
+    return process, parent_conn

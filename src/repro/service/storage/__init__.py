@@ -1,0 +1,84 @@
+"""repro.service.storage — pluggable event-log persistence.
+
+The :class:`StateStore` contract (append events / read the delta since a
+sequence number / write + compact snapshots) with two backends:
+
+- :class:`MemoryStore` — in-process, simulated durability watermark;
+- :class:`SQLiteStore` — append-only table + periodic compaction in one
+  SQLite database.
+
+:class:`StoreWriter` adapts any backend to the server's write-ahead
+surface (``append_new``/``sync``/``compact``/``close``/``abandon``), and
+:func:`restore_from_store` rebuilds a runtime as latest-snapshot +
+O(delta) replay.  :func:`open_store` parses the ``bshm serve --storage``
+spec (``memory`` or ``sqlite:PATH``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .base import (
+    STORE_VERSION,
+    RecoveredStore,
+    StateStore,
+    StorageError,
+    restore_from_store,
+)
+from .memory import MemoryStore
+from .sqlite import SQLiteStore
+from .writer import SYNC_POLICIES, StoreWriter
+
+__all__ = [
+    "STORE_VERSION",
+    "SYNC_POLICIES",
+    "MemoryStore",
+    "RecoveredStore",
+    "SQLiteStore",
+    "StateStore",
+    "StorageError",
+    "StoreWriter",
+    "open_store",
+    "restore_from_store",
+    "shard_store_spec",
+]
+
+
+def open_store(spec: str) -> StateStore:
+    """Open a backend from a ``--storage`` spec: ``memory`` | ``sqlite:PATH``.
+
+    Raises :class:`StorageError` on an unknown scheme or an unopenable /
+    foreign database.
+    """
+    if spec == "memory":
+        return MemoryStore()
+    scheme, sep, path = spec.partition(":")
+    if sep and scheme == "sqlite":
+        if not path:
+            raise StorageError("sqlite storage spec needs a path: sqlite:PATH")
+        return SQLiteStore(path)
+    raise StorageError(
+        f"unknown storage spec {spec!r}; use 'memory' or 'sqlite:PATH'"
+    )
+
+
+def shard_store_spec(spec: str, shard: int, n_shards: int) -> str:
+    """Derive shard ``shard``'s private spec from the service-level one.
+
+    ``memory`` stays ``memory`` (each worker gets its own instance);
+    ``sqlite:PATH`` becomes ``sqlite:PATH.shardK`` (suffix before nothing —
+    the path is treated verbatim, extension included), except when only
+    one shard exists, which keeps the path unchanged so single-worker
+    serving and plain serving share on-disk layouts.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if not 0 <= shard < n_shards:
+        raise ValueError(f"shard {shard} outside [0, {n_shards})")
+    if spec == "memory" or n_shards == 1:
+        return spec
+    scheme, sep, path = spec.partition(":")
+    if sep and scheme == "sqlite" and path:
+        p = Path(path)
+        return f"sqlite:{p.with_name(p.name + f'.shard{shard}')}"
+    raise StorageError(f"cannot derive per-shard spec from {spec!r}")

@@ -58,7 +58,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, TYPE_CHECKING
+from typing import IO, TYPE_CHECKING, Callable
 
 from .checkpoint import CheckpointError, _apply_event, _runtime_from_config
 from .faults import FaultInjector
@@ -404,6 +404,7 @@ def recover(
     *,
     metrics: "MetricsRegistry | None" = None,
     config: dict | None = None,
+    progress: "Callable[[str], None] | None" = None,
 ) -> RecoveredState:
     """Rebuild a runtime from a WAL directory.
 
@@ -412,8 +413,10 @@ def recover(
     anywhere else raises :class:`WALError`.  ``config`` is only used when
     the directory holds no snapshot and no segment header (a service that
     crashed before persisting anything) — without it, an empty log is an
-    error.
+    error.  ``progress``, when given, receives one human-readable line per
+    recovery stage (snapshot restore, then each segment scanned).
     """
+    note = progress if progress is not None else (lambda _line: None)
     wal_path = Path(wal_dir)
     if not wal_path.is_dir():
         raise WALError(f"no WAL directory at {wal_path}")
@@ -431,6 +434,7 @@ def recover(
             raise WALError(f"unreadable WAL snapshot {latest.name}: {exc}") from exc
         runtime = restore_state(doc, metrics=metrics)
         snapshot_n = runtime.n_events
+        note(f"snapshot {latest.name}: state restored at event {snapshot_n}")
 
     expected = runtime.n_events if runtime is not None else 0
     replayed = 0
@@ -452,8 +456,13 @@ def recover(
         if problem == "torn":
             os.truncate(segment, clean_offset)
             truncated += len(data) - clean_offset
+            note(
+                f"segment {segment.name}: torn tail, truncated "
+                f"{len(data) - clean_offset} bytes"
+            )
         if not payloads:
             if is_final:
+                note(f"segment {segment.name}: empty (crash before header), skipped")
                 continue  # crash before the header reached disk
             raise WALError(f"WAL segment {segment.name} has no header frame")
         header = _load_json(payloads[0], f"segment header {segment.name}")
@@ -472,6 +481,7 @@ def recover(
         if runtime is None:
             runtime = _runtime_from_config(header["config"], metrics=metrics)
         index = base
+        seg_start = replayed
         for payload in payloads[1:]:
             record = _load_json(payload, f"record in {segment.name}")
             if record.get("i") != index:
@@ -492,6 +502,10 @@ def recover(
                 expected += 1
                 replayed += 1
             index += 1
+        note(
+            f"segment {segment.name}: {len(payloads) - 1} records, "
+            f"{replayed - seg_start} replayed"
+        )
 
     if runtime is None:
         if config is None:

@@ -1,0 +1,532 @@
+"""The sharded multi-worker service: routing, parity, backpressure, crashes.
+
+The contract under test: a single-worker sharded service is **byte
+identical** to the single-loop server (same responses, same checkpoint);
+a multi-worker service preserves every stream-contract error verbatim,
+aggregates per-shard state in ``stats``, applies backpressure as the
+retryable ``overloaded`` error, and fail-stops (``shard-failed``) when a
+worker dies.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import SchedulerRuntime, dec_ladder, uniform_workload
+from repro.core.events import EventKind, event_stream
+from repro.service import SchedulerServer
+from repro.service.shard import (
+    LocalWorkerHandle,
+    ShardRouter,
+    ShardWorker,
+    WorkerSpec,
+    shard_for_submit,
+    shard_for_uid,
+    size_class,
+    start_worker_fleet,
+)
+from repro.service.shard.router import _WorkerDied
+from repro.service.storage import open_store, restore_from_store
+
+LADDER = dec_ladder(3)
+CAPS = [t.capacity for t in LADDER.types]
+CONFIG = {
+    "scheduler": "dec",
+    "ladder": [[t.capacity, t.rate] for t in LADDER.types],
+    "admission": ["fits-ladder"],
+}
+
+
+def canon(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def make_events(n=120, seed=7):
+    rng = np.random.default_rng(seed)
+    jobs = uniform_workload(n, rng, max_size=LADDER.capacity(len(CAPS)))
+    return list(event_stream(jobs))
+
+
+def request_for(ev, uid_map):
+    if ev.kind is EventKind.ARRIVE:
+        return canon(
+            {"op": "submit", "size": ev.job.size, "t": ev.job.arrival,
+             "name": ev.job.name}
+        )
+    return canon({"op": "depart", "uid": uid_map[ev.job.uid], "t": ev.job.departure})
+
+
+def make_router(n_shards, **spec_kwargs):
+    specs = [
+        WorkerSpec(shard=k, n_shards=n_shards, config=CONFIG, **spec_kwargs)
+        for k in range(n_shards)
+    ]
+    return ShardRouter([LocalWorkerHandle(s) for s in specs], CAPS)
+
+
+async def drive_router(router, events):
+    uid_map, responses = {}, []
+    for ev in events:
+        response = await router._dispatch(request_for(ev, uid_map))
+        if ev.kind is EventKind.ARRIVE:
+            uid_map[ev.job.uid] = response.get("uid")
+        responses.append(response)
+    return responses
+
+
+class TestRouting:
+    def test_size_class_smallest_fitting_type(self):
+        assert size_class(0.5, CAPS) == 1
+        assert size_class(CAPS[0], CAPS) == 1
+        assert size_class(CAPS[0] + 0.1, CAPS) == 2
+        assert size_class(CAPS[-1], CAPS) == len(CAPS)
+
+    def test_size_class_invalid_or_oversized_is_none(self):
+        assert size_class(CAPS[-1] * 2, CAPS) is None
+        assert size_class(-1.0, CAPS) is None
+        assert size_class(float("nan"), CAPS) is None
+        assert size_class(float("inf"), CAPS) is None
+
+    def test_single_shard_takes_everything(self):
+        for uid in range(50):
+            assert shard_for_submit(1.0, uid, 1, CAPS) == 0
+            assert shard_for_uid(uid, 1) == 0
+
+    def test_deterministic_and_in_range(self):
+        for n in (2, 3, 5, 8):
+            for uid in range(200):
+                a = shard_for_submit(2.0, uid, n, CAPS)
+                assert a == shard_for_submit(2.0, uid, n, CAPS)
+                assert 0 <= a < n
+                assert 0 <= shard_for_uid(uid, n) < n
+
+    def test_few_shards_partition_by_type_pool(self):
+        # n_shards <= m: one shard per machine-type pool (mod n)
+        n = 2
+        for uid in range(40):
+            assert shard_for_submit(0.5, uid, n, CAPS) == 0  # class 1
+            assert shard_for_submit(2.0, uid, n, CAPS) == 1  # class 2
+            assert shard_for_submit(8.0, uid, n, CAPS) == 0  # class 3 wraps
+
+    def test_many_shards_block_partition_covers_all(self):
+        # n_shards > m: each class owns a contiguous block; blocks tile [0, n)
+        n = 8
+        owned = set()
+        for cls_size in (0.5, 2.0, 8.0):
+            shards = {
+                shard_for_submit(cls_size, uid, n, CAPS) for uid in range(500)
+            }
+            assert not (shards & owned), "class blocks must not overlap"
+            owned |= shards
+        assert owned == set(range(n))
+
+    def test_oversized_job_falls_back_to_uid_hash(self):
+        n = 4
+        got = {shard_for_submit(CAPS[-1] * 2, uid, n, CAPS) for uid in range(200)}
+        assert got == set(range(n))  # spread, not pinned to one pool
+
+
+class TestSingleWorkerParity:
+    """W=1 sharding is the determinism pin: byte-identical to single-loop."""
+
+    def test_responses_and_checkpoint_byte_identical(self):
+        events = make_events(150)
+
+        runtime = SchedulerRuntime.create(
+            "dec", LADDER, admission=["fits-ladder"]
+        )
+        server = SchedulerServer(runtime)
+        uid_ref, ref = {}, []
+        for ev in events:
+            response = server.handle_line(request_for(ev, uid_ref))
+            if ev.kind is EventKind.ARRIVE:
+                uid_ref[ev.job.uid] = response["uid"]
+            ref.append(response)
+        ref_ckpt = server.handle_request({"op": "checkpoint"})
+        ref_stats = server.handle_request({"op": "stats"})
+
+        async def sharded():
+            router = make_router(1)
+            await router.attach()
+            responses = await drive_router(router, events)
+            ckpt = await router.route({"op": "checkpoint"})
+            stats = await router.route({"op": "stats"})
+            return responses, ckpt, stats
+
+        responses, ckpt, stats = asyncio.run(sharded())
+        assert [canon(r) for r in responses] == [canon(r) for r in ref]
+        assert canon(ckpt) == canon(ref_ckpt)
+        assert stats["cost"] == ref_stats["cost"]
+        assert stats["events"] == ref_stats["events"]
+
+    def test_error_responses_byte_identical(self):
+        bad_requests = [
+            '{"op": "submit", "size": -3, "t": 0}',
+            '{"op": "submit", "size": 1}',
+            '{"op": "submit", "size": "huge", "t": 0}',
+            '{"op": "depart", "uid": 404, "t": 5}',
+            '{"op": "advance"}',
+            '{"op": "advance", "t": "NaN"}',
+            "not json at all",
+            '{"no": "op"}',
+            '{"op": "frobnicate"}',
+        ]
+        runtime = SchedulerRuntime.create(
+            "dec", LADDER, admission=["fits-ladder"]
+        )
+        server = SchedulerServer(runtime)
+        ref = [server.handle_line(line) for line in bad_requests]
+
+        async def sharded():
+            router = make_router(1)
+            await router.attach()
+            return [await router._dispatch(line) for line in bad_requests]
+
+        got = asyncio.run(sharded())
+        assert [canon(r) for r in got] == [canon(r) for r in ref]
+
+
+class TestMultiWorker:
+    def test_two_shards_cover_stream_and_aggregate_stats(self):
+        events = make_events(150)
+
+        async def run():
+            router = make_router(2)
+            await router.attach()
+            responses = await drive_router(router, events)
+            stats = await router.route({"op": "stats"})
+            schedule = await router.route({"op": "schedule"})
+            return responses, stats, schedule
+
+        responses, stats, schedule = asyncio.run(run())
+        assert all(r.get("ok") for r in responses)
+        assert stats["workers"] == 2
+        assert len(stats["shards"]) == 2
+        assert stats["events"] == sum(s["events"] for s in stats["shards"])
+        assert stats["events"] == len(events)
+        assert stats["cost"] == pytest.approx(
+            sum(s["cost"] for s in stats["shards"])
+        )
+        assert all(s["events"] > 0 for s in stats["shards"])
+        assert schedule["ok"] and schedule["jobs"] == len(events) // 2
+
+    def test_contract_errors_match_single_loop_verbatim(self):
+        # cross-shard validation must be indistinguishable from one loop
+        runtime = SchedulerRuntime.create(
+            "dec", LADDER, admission=["fits-ladder"]
+        )
+        server = SchedulerServer(runtime)
+        probes = [
+            {"op": "submit", "size": 2.0, "t": 10.0},
+            {"op": "submit", "size": 2.0, "t": 5.0},      # backwards clock
+            {"op": "depart", "uid": 0, "t": 7.0},          # <= handled above
+            {"op": "depart", "uid": 123, "t": 20.0},       # unknown uid
+            {"op": "advance", "t": 9.0},                   # backwards again
+            {"op": "advance", "t": 30.0},
+        ]
+        ref = [server.handle_request(dict(p)) for p in probes]
+
+        async def run():
+            router = make_router(2)
+            await router.attach()
+            return [await router.route(dict(p)) for p in probes]
+
+        got = asyncio.run(run())
+        assert [canon(r) for r in got] == [canon(r) for r in ref]
+
+    def test_duplicate_uid_parity(self):
+        runtime = SchedulerRuntime.create(
+            "dec", LADDER, admission=["fits-ladder"]
+        )
+        server = SchedulerServer(runtime)
+        first = {"op": "submit", "size": 1.0, "t": 0.0, "uid": 7}
+        dup = {"op": "submit", "size": 1.0, "t": 1.0, "uid": 7}
+        ref = [server.handle_request(dict(first)), server.handle_request(dict(dup))]
+
+        async def run():
+            router = make_router(2)
+            await router.attach()
+            return [
+                await router.route(dict(first)),
+                await router.route(dict(dup)),
+            ]
+
+        got = asyncio.run(run())
+        assert [canon(r) for r in got] == [canon(r) for r in ref]
+
+    def test_rejected_job_departs_as_noop_on_every_shard(self):
+        # a rejected uid's depart must stay a repeatable no-op (clock moves)
+        big = LADDER.capacity(len(CAPS)) * 10
+
+        async def run():
+            router = make_router(2)
+            await router.attach()
+            rejected = await router.route({"op": "submit", "size": big, "t": 1.0})
+            noop1 = await router.route(
+                {"op": "depart", "uid": rejected["uid"], "t": 2.0}
+            )
+            noop2 = await router.route(
+                {"op": "depart", "uid": rejected["uid"], "t": 3.0}
+            )
+            return rejected, noop1, noop2
+
+        rejected, noop1, noop2 = asyncio.run(run())
+        assert rejected["ok"] and not rejected["accepted"]
+        assert noop1["ok"] and noop2["ok"]
+
+    def test_checkpoint_refused_with_multiple_workers(self):
+        async def run():
+            router = make_router(2)
+            await router.attach()
+            return await router.route({"op": "checkpoint"})
+
+        response = asyncio.run(run())
+        assert not response["ok"]
+        assert response["error"]["code"] == "invalid-request"
+        assert "more than one worker" in response["error"]["message"]
+
+
+class StalledHandle(LocalWorkerHandle):
+    """A handle whose worker never finishes a batch (backpressure probe)."""
+
+    def __init__(self, spec, gate, **kwargs):
+        super().__init__(spec, **kwargs)
+        self._gate = gate
+
+    async def _apply_batch(self, requests):
+        await self._gate.wait()
+        return await super()._apply_batch(requests)
+
+
+class TestBackpressure:
+    def test_full_worker_queue_sheds_with_overloaded(self):
+        # 12 concurrent submits against a depth-4 queue: the enqueueing
+        # tasks all run before the pump wakes, so exactly 8 are shed
+        async def run():
+            spec = WorkerSpec(shard=0, n_shards=1, config=CONFIG)
+            handle = LocalWorkerHandle(spec, queue_depth=4)
+            router = ShardRouter([handle], CAPS)
+            await router.attach()
+            futures = [
+                asyncio.ensure_future(
+                    router.route({"op": "submit", "size": 1.0, "t": float(i)})
+                )
+                for i in range(12)
+            ]
+            settled = await asyncio.gather(*futures)
+            return settled, router.metrics.counter("shed_requests").value
+
+        settled, shed_count = asyncio.run(run())
+        shed = [r for r in settled if not r["ok"]]
+        accepted = [r for r in settled if r["ok"]]
+        assert len(accepted) == 4
+        assert len(shed) == 8 and shed_count == 8
+        for r in shed:
+            assert r["error"]["code"] == "overloaded"
+            assert r["error"]["retryable"] is True
+            assert r["error"]["retry_after_ms"] > 0
+            assert "admission queue is full" in r["error"]["message"]
+
+    def test_broadcast_needs_room_on_every_shard(self):
+        async def run():
+            gate = asyncio.Event()
+            stalled = StalledHandle(
+                WorkerSpec(shard=0, n_shards=2, config=CONFIG), gate,
+                queue_depth=2,
+            )
+            healthy = LocalWorkerHandle(
+                WorkerSpec(shard=1, n_shards=2, config=CONFIG)
+            )
+            router = ShardRouter([stalled, healthy], CAPS)
+            await router.attach()
+            # class-1 jobs pin to shard 0: two batches fill the stalled
+            # worker's pipe, two more refill its queue to the brim
+            first = [
+                asyncio.ensure_future(
+                    router.route({"op": "submit", "size": 0.5, "t": float(i)})
+                )
+                for i in range(2)
+            ]
+            await asyncio.sleep(0.02)  # pump drains both into a stalled batch
+            second = [
+                asyncio.ensure_future(
+                    router.route({"op": "submit", "size": 0.5, "t": float(2 + i)})
+                )
+                for i in range(2)
+            ]
+            await asyncio.sleep(0.02)  # they sit in the (now full) queue
+            assert not stalled.has_room()
+            broadcast = await router.route({"op": "advance", "t": 100.0})
+            gate.set()
+            settled = await asyncio.gather(*first, *second)
+            return broadcast, settled
+
+        broadcast, settled = asyncio.run(run())
+        assert not broadcast["ok"]
+        assert broadcast["error"]["code"] == "overloaded"
+        assert all(r["ok"] for r in settled)  # queued work still completes
+
+
+class FailingHandle(LocalWorkerHandle):
+    """A handle whose worker dies on the first batch (fail-stop probe)."""
+
+    async def _apply_batch(self, requests):
+        raise _WorkerDied("simulated segfault")
+
+
+class TestFailStop:
+    def test_dead_worker_fails_request_and_drains_router(self):
+        async def run():
+            handle = FailingHandle(WorkerSpec(shard=0, n_shards=1, config=CONFIG))
+            router = ShardRouter([handle], CAPS)
+            await router.attach()
+            doomed = await router.route({"op": "submit", "size": 1.0, "t": 0.0})
+            follow_up = await router.route({"op": "submit", "size": 1.0, "t": 1.0})
+            return doomed, follow_up, router._draining
+
+        doomed, follow_up, draining = asyncio.run(run())
+        assert not doomed["ok"]
+        assert doomed["error"]["code"] == "shard-failed"
+        assert "simulated segfault" in doomed["error"]["message"]
+        assert draining
+        assert not follow_up["ok"]
+        assert follow_up["error"]["code"] == "shard-failed"
+
+
+class TestWorkerCore:
+    def test_shard_worker_batches_and_persists(self, tmp_path):
+        spec = WorkerSpec(
+            shard=0, n_shards=1, config=CONFIG,
+            storage=f"sqlite:{tmp_path / 'w.db'}", sync="always",
+        )
+        worker = ShardWorker(spec)
+        responses = worker.apply(
+            [
+                {"op": "submit", "size": 1.0, "t": 0.0},
+                {"op": "submit", "size": 2.0, "t": 1.0},
+                {"op": "depart", "uid": 0, "t": 5.0},
+            ]
+        )
+        assert [r["ok"] for r in responses] == [True, True, True]
+        summary = worker.shutdown()
+        assert summary["shard"] == 0 and summary["events"] == 3
+
+        store = open_store(f"sqlite:{tmp_path / 'w.db'}")
+        recovered = restore_from_store(store)
+        assert recovered.n_events == 3
+        assert recovered.runtime.cost() == pytest.approx(summary["cost"])
+        store.close()
+
+    def test_worker_restarts_from_its_store(self, tmp_path):
+        spec = WorkerSpec(
+            shard=0, n_shards=1, config=CONFIG,
+            storage=f"sqlite:{tmp_path / 'w.db'}", sync="always",
+            compact_every=2,
+        )
+        worker = ShardWorker(spec)
+        worker.apply(
+            [{"op": "submit", "size": 1.0, "t": float(i)} for i in range(5)]
+        )
+        summary = worker.shutdown()
+        reborn = ShardWorker(spec)
+        assert reborn.runtime.n_events == summary["events"]
+        assert reborn.runtime.cost() == pytest.approx(summary["cost"])
+        reborn.shutdown()
+
+
+class TestRouterRestart:
+    """A fresh router over recovered shards adopts their uid inventory —
+    without it, post-restart departs misroute (uid-hash fallback) and a
+    duplicate submit routed to the wrong shard slips through."""
+
+    def test_restarted_router_keeps_uid_routing(self, tmp_path):
+        spec = {"storage": f"sqlite:{tmp_path / 'r.db'}", "sync": "always"}
+
+        def fresh_router():
+            specs = [
+                WorkerSpec(shard=k, n_shards=2, config=CONFIG, **spec)
+                for k in range(2)
+            ]
+            return ShardRouter([LocalWorkerHandle(s) for s in specs], CAPS)
+
+        async def run1():
+            router = fresh_router()
+            await router.attach()
+            out = []
+            for uid in range(8):
+                out.append(await router.route(
+                    {"op": "submit", "uid": uid,
+                     "size": 0.25 + (uid % 5) * 0.75, "t": float(uid)}
+                ))
+            for uid in range(0, 8, 2):
+                out.append(await router.route(
+                    {"op": "depart", "uid": uid, "t": 20.0 + uid}
+                ))
+            out.append(await router.route(  # oversize: rejected, uid burned
+                {"op": "submit", "uid": 50, "size": 99.0, "t": 27.0}
+            ))
+            await router.drain()
+            return out
+
+        first = asyncio.run(run1())
+        assert all(r["ok"] for r in first)
+        assert first[-1]["accepted"] is False
+
+        async def run2():
+            router = fresh_router()
+            await router.attach()
+            # duplicate of a recovered active uid, sized for the *other*
+            # shard — only the adopted mirror can refuse it
+            dup = await router.route(
+                {"op": "submit", "uid": 1, "size": 3.5, "t": 30.0}
+            )
+            departs = [
+                await router.route({"op": "depart", "uid": uid, "t": 30.0 + uid})
+                for uid in range(1, 8, 2)
+            ]
+            rejected = await router.route(
+                {"op": "depart", "uid": 50, "t": 40.0}
+            )
+            stale = await router.route(  # clock recovered too
+                {"op": "submit", "uid": 60, "size": 0.5, "t": 0.0}
+            )
+            stats = await router.route({"op": "stats"})
+            await router.drain()
+            return dup, departs, rejected, stale, stats
+
+        dup, departs, rejected, stale, stats = asyncio.run(run2())
+        assert not dup["ok"] and dup["error"]["code"] == "duplicate-uid"
+        assert all(r["ok"] for r in departs)
+        assert rejected["ok"]  # rejected-uid depart stays a no-op
+        assert not stale["ok"] and "ran backwards" in stale["error"]["message"]
+        assert stats["active"] == 0
+
+
+class TestSpawnedFleet:
+    """The real thing: spawned processes, pipes, per-shard sqlite stores."""
+
+    def test_fleet_round_trip_and_restore(self, tmp_path):
+        events = make_events(60, seed=3)
+        spec = f"sqlite:{tmp_path / 'fleet.db'}"
+
+        async def run():
+            handles = start_worker_fleet(2, CONFIG, storage=spec, sync="always")
+            router = ShardRouter(handles, CAPS)
+            await router.attach()
+            responses = await drive_router(router, events)
+            stats = await router.route({"op": "stats"})
+            await router.drain()
+            return responses, stats, router.summaries
+
+        responses, stats, summaries = asyncio.run(run())
+        assert all(r.get("ok") for r in responses)
+        assert stats["events"] == len(events)
+        assert len(summaries) == 2
+        for k, summary in enumerate(sorted(summaries, key=lambda s: s["shard"])):
+            store = open_store(f"{spec}.shard{k}")
+            recovered = restore_from_store(store)
+            assert recovered.n_events == summary["events"]
+            assert recovered.runtime.cost() == pytest.approx(summary["cost"])
+            store.close()

@@ -1,0 +1,145 @@
+"""Static-analysis benchmark: warm incremental cache vs cold full parse.
+
+The incremental cache exists so the whole-program tier (call graph +
+interprocedural rules) stays cheap enough to run on every commit.  This
+benchmark runs ``run_check`` over the repository's real ``src/``,
+``tests/`` and ``benchmarks/`` trees three ways:
+
+- ``cold`` — empty cache directory: every file is parsed twice (file
+  rules + facts extraction) and the project graph is built from scratch,
+- ``warm`` — second run against the same cache: every file is a content-
+  hash hit, only hashing + graph rebuild remain,
+- ``touched`` — one file edited between runs: exactly one miss.
+
+Entry points:
+
+- ``python benchmarks/bench_check.py`` writes ``BENCH_check.json`` at
+  the repo root and **fails** (exit 1) if the warm run is not at least
+  :data:`MIN_SPEEDUP`× faster than the cold run or the two runs disagree
+  on findings.
+- ``pytest benchmarks/bench_check.py`` re-checks the committed JSON (CI
+  guardrail) and smokes a scaled-down run end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.static import run_check
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_check.json"
+
+TARGETS = ["src", "tests", "benchmarks"]
+MIN_SPEEDUP = 5.0
+REPEATS = 3  # best-of to shave scheduler noise
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_suite(targets: list[str] | None = None) -> dict:
+    targets = targets or [str(REPO_ROOT / t) for t in TARGETS]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "cache"
+
+        t0 = time.perf_counter()
+        cold = run_check(targets, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+
+        warm_s, warm = _best_of(lambda: run_check(targets, cache_dir=cache_dir))
+
+        return {
+            "n_files": cold.n_files,
+            "cold_misses": cold.cache_misses,
+            "warm_hits": warm.cache_hits,
+            "warm_misses": warm.cache_misses,
+            "cold_ms": round(cold_s * 1e3, 3),
+            "warm_ms": round(warm_s * 1e3, 3),
+            "speedup_warm_vs_cold": round(cold_s / warm_s, 2),
+            "findings_agree": [d.to_dict() for d in cold.findings]
+            == [d.to_dict() for d in warm.findings],
+            "n_findings": len(cold.findings),
+        }
+
+
+def main() -> int:
+    row = run_suite()
+    payload = {
+        "targets": TARGETS,
+        "min_speedup": MIN_SPEEDUP,
+        "check": row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"cold: {row['cold_ms']:.0f}ms over {row['n_files']} files "
+        f"({row['cold_misses']} misses)"
+    )
+    print(
+        f"warm: {row['warm_ms']:.0f}ms "
+        f"({row['warm_hits']} hits, {row['warm_misses']} misses)  "
+        f"{row['speedup_warm_vs_cold']:.1f}x"
+    )
+    if not row["findings_agree"]:
+        print("FAIL: warm and cold runs disagree on findings")
+        return 1
+    if row["speedup_warm_vs_cold"] < MIN_SPEEDUP:
+        print(f"FAIL: warm speedup below the {MIN_SPEEDUP}x floor")
+        return 1
+    print(f"OK: >= {MIN_SPEEDUP}x; written to {OUTPUT.name}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI guardrails)
+# ---------------------------------------------------------------------------
+
+def test_committed_bench_meets_speedup_floor():
+    """The committed BENCH_check.json records the acceptance run."""
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["targets"] == TARGETS
+    row = payload["check"]
+    assert row["findings_agree"] is True
+    assert row["warm_misses"] == 0
+    assert row["warm_hits"] == row["n_files"]
+    assert row["speedup_warm_vs_cold"] >= payload["min_speedup"]
+
+
+def test_check_cache_smoke(tmp_path):
+    """CI smoke: a scaled-down tree gets identical cold/warm findings and
+    a fully-hit warm cache (the speedup floor is only enforced at full
+    repo scale)."""
+    tree = tmp_path / "src" / "repro" / "core"
+    tree.mkdir(parents=True)
+    shutil.copy(
+        REPO_ROOT / "src" / "repro" / "core" / "intervals.py",
+        tree / "intervals.py",
+    )
+    (tree / "bad.py").write_text(
+        "def f(a, b):\n    return a.arrival <= b.departure\n"
+    )
+    cache_dir = tmp_path / "cache"
+    cold = run_check([tmp_path / "src"], cache_dir=cache_dir)
+    warm = run_check([tmp_path / "src"], cache_dir=cache_dir)
+    assert warm.cache_misses == 0 and warm.cache_hits == cold.n_files
+    assert [d.to_dict() for d in cold.findings] == [
+        d.to_dict() for d in warm.findings
+    ]
+    assert [d.rule_id for d in warm.findings] == ["BSHM001"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,15 +3,16 @@
 AST-based lint rules enforcing the semantic invariants the paper's
 guarantees rest on (half-open intervals, ``time_tol`` comparisons,
 test-only oracle kernels, replay-safe determinism, frozen structures,
-checkpoint schema versioning).  See ``docs/invariants.md`` for the rule
-catalogue and :mod:`repro.analysis.static.invariants` for the rules
-themselves.
+checkpoint schema versioning), plus a whole-program tier — import/call
+graph, interprocedural reachability/taint/ordering rules — with SARIF
+output, a committed baseline and a content-hash incremental cache.
+See ``docs/invariants.md`` for the rule catalogue.
 
 Usage::
 
-    from repro.analysis.static import check_paths
-    findings, n_files = check_paths(["src"])
-    for diag in findings:
+    from repro.analysis.static import run_check
+    report = run_check(["src"])
+    for diag in report.findings:
         print(diag.format())
 """
 
@@ -19,6 +20,7 @@ from .diagnostics import Diagnostic, Severity
 from .engine import (
     PARSE_ERROR_ID,
     UNKNOWN_SUPPRESSION_ID,
+    analyze_source,
     check_file,
     check_paths,
     check_source,
@@ -26,7 +28,21 @@ from .engine import (
 )
 from .rules import RULES, FileContext, Rule, all_rules, register_rule
 from . import invariants as invariants  # noqa: F401  (rule registration)
+from . import interprocedural as interprocedural  # noqa: F401  (rule registration)
 from .invariants import SCHEMA_MANIFEST_NAME, compute_schema_manifest
+from .project import Project, build_project, extract_module_facts, project_from_sources
+from .callgraph import CallGraph, build_callgraph
+from .interprocedural import ProjectRule, check_project, hot_entry_points
+from .baseline import (
+    BaselineError,
+    line_text_from_disk,
+    load_baseline,
+    split_baseline,
+    write_baseline,
+)
+from .cache import AnalysisCache
+from .emitters import FORMATS, render
+from .runner import CheckReport, git_changed_lines, run_check
 
 __all__ = [
     "Diagnostic",
@@ -36,6 +52,7 @@ __all__ = [
     "FileContext",
     "register_rule",
     "all_rules",
+    "analyze_source",
     "check_source",
     "check_file",
     "check_paths",
@@ -44,4 +61,24 @@ __all__ = [
     "UNKNOWN_SUPPRESSION_ID",
     "SCHEMA_MANIFEST_NAME",
     "compute_schema_manifest",
+    "Project",
+    "build_project",
+    "extract_module_facts",
+    "project_from_sources",
+    "CallGraph",
+    "build_callgraph",
+    "ProjectRule",
+    "check_project",
+    "hot_entry_points",
+    "BaselineError",
+    "line_text_from_disk",
+    "load_baseline",
+    "split_baseline",
+    "write_baseline",
+    "AnalysisCache",
+    "FORMATS",
+    "render",
+    "CheckReport",
+    "git_changed_lines",
+    "run_check",
 ]

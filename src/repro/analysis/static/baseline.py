@@ -1,0 +1,137 @@
+"""Baseline (warn-then-enforce) support for ``bshm check``.
+
+A baseline file records the fingerprints of known, accepted findings so
+new rules can be rolled out without an immediate fix-everything gate:
+baselined findings are demoted to informational output (and marked
+``suppressed`` in SARIF), while anything *not* in the baseline fails the
+run.  Shrink the baseline over time; never grow it silently.
+
+Fingerprints are content-anchored, not line-anchored: the hash covers
+the repo-relative path, the rule id and the *stripped text of the
+offending line*, so pure line-shifts (adding code above) do not
+invalidate the baseline while any edit to the flagged line itself does —
+an edited line must re-earn its exemption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path, PurePosixPath
+from typing import Callable, Iterable
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "fingerprint",
+    "line_text_from_disk",
+    "load_baseline",
+    "write_baseline",
+    "split_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or malformed."""
+
+
+def _norm_path(path: str) -> str:
+    return PurePosixPath(PurePosixPath(path).as_posix()).as_posix()
+
+
+def fingerprint(diag: Diagnostic, line_text: str) -> str:
+    """Stable fingerprint of one finding (path | rule | stripped line)."""
+    payload = f"{_norm_path(diag.path)}|{diag.rule_id}|{line_text.strip()}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+_DISK_LINES: dict[str, list[str]] = {}
+
+
+def line_text_from_disk(diag: Diagnostic) -> str:
+    """The flagged line's text, reading (and memoizing) the file from disk."""
+    lines = _DISK_LINES.get(diag.path)
+    if lines is None:
+        try:
+            lines = Path(diag.path).read_text(errors="replace").splitlines()
+        except OSError:
+            lines = []
+        _DISK_LINES[diag.path] = lines
+    return lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The fingerprint set from a baseline file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {str(path)!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {str(path)!r} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else '?'!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {str(path)!r} has no findings list")
+    fps: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(
+                f"baseline {str(path)!r} entry missing a fingerprint: {entry!r}"
+            )
+        fps.add(str(entry["fingerprint"]))
+    return fps
+
+
+def write_baseline(
+    path: str | Path,
+    findings: Iterable[Diagnostic],
+    line_text: Callable[[Diagnostic], str],
+) -> int:
+    """Write a baseline covering ``findings``; returns the entry count.
+
+    Entries carry the human-readable context (path, rule, message) next
+    to the fingerprint so baseline diffs are reviewable, but only the
+    fingerprint is matched at check time.
+    """
+    entries = [
+        {
+            "fingerprint": fingerprint(diag, line_text(diag)),
+            "path": _norm_path(diag.path),
+            "rule_id": diag.rule_id,
+            "message": diag.message,
+        }
+        for diag in sorted(findings)
+    ]
+    # one fingerprint may cover several identical lines; keep one entry each
+    unique: dict[str, dict[str, str]] = {}
+    for entry in entries:
+        unique.setdefault(entry["fingerprint"], entry)
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(unique.values(), key=lambda e: (e["path"], e["rule_id"])),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return len(unique)
+
+
+def split_baseline(
+    findings: Iterable[Diagnostic],
+    baseline_fps: set[str],
+    line_text: Callable[[Diagnostic], str],
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """``(new, baselined)`` — new findings fail the run, baselined do not."""
+    new: list[Diagnostic] = []
+    old: list[Diagnostic] = []
+    for diag in findings:
+        if fingerprint(diag, line_text(diag)) in baseline_fps:
+            old.append(diag)
+        else:
+            new.append(diag)
+    return new, old

@@ -1,0 +1,142 @@
+"""Content-hash incremental cache for ``bshm check``.
+
+Per file the cache stores the sha256 of the source bytes together with
+everything one analysis pass produced: the file-rule diagnostics, the
+suppression map and the project-analysis facts IR.  A warm run hashes
+every file, loads cache hits without parsing, and only re-analyzes files
+whose content changed — the whole-project rules then rebuild the call
+graph from (mostly cached) facts.  This is what makes the interprocedural
+tier cheap enough to run on every commit.
+
+The cache key covers :data:`~.project.FACTS_VERSION`, the registered
+rule ids and a salt bumped on analyzer-logic changes, so a stale cache
+can never mask a rule change — the whole cache is discarded instead.
+The cache lives in ``.bshm_cache/`` (gitignored); deleting the directory
+is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from .diagnostics import Diagnostic
+from .project import FACTS_VERSION
+from .rules import RULES
+
+__all__ = ["CACHE_SALT", "AnalysisCache", "content_hash", "engine_key"]
+
+#: bump when analyzer logic changes in a way the key does not capture
+CACHE_SALT = 2
+
+_CACHE_FILE = "cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def engine_key() -> str:
+    """Cache-invalidation key: facts IR version + rule catalogue + salt."""
+    payload = json.dumps(
+        {
+            "facts": FACTS_VERSION,
+            "salt": CACHE_SALT,
+            "rules": sorted(RULES),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _encode_entry(
+    sha: str,
+    diags: list[Diagnostic],
+    suppressions: dict[int, set[str]],
+    facts: dict[str, Any] | None,
+) -> dict[str, Any]:
+    return {
+        "sha": sha,
+        "diags": [d.to_dict() for d in diags],
+        "supp": {str(line): sorted(ids) for line, ids in suppressions.items()},
+        "facts": facts,
+    }
+
+
+def _decode_entry(
+    entry: dict[str, Any],
+) -> tuple[list[Diagnostic], dict[int, set[str]], dict[str, Any] | None]:
+    diags = [Diagnostic.from_dict(d) for d in entry["diags"]]
+    supp = {int(line): set(ids) for line, ids in entry["supp"].items()}
+    return diags, supp, entry["facts"]
+
+
+class AnalysisCache:
+    """Per-file analysis results keyed by content hash.
+
+    ``get``/``put`` use the file's path string as the map key and the
+    content hash as the validity check; ``save`` persists the merged
+    entry set so a narrow run (one file) never evicts the rest.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / _CACHE_FILE
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(data, dict) or data.get("key") != engine_key():
+            return  # analyzer changed (or garbage): discard wholesale
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(
+        self, path: str, sha: str
+    ) -> tuple[list[Diagnostic], dict[int, set[str]], dict[str, Any] | None] | None:
+        """Cached ``(diags, suppressions, facts)`` for an unchanged file."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            decoded = _decode_entry(entry)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None  # corrupted entry: recompute
+        self.hits += 1
+        return decoded
+
+    def put(
+        self,
+        path: str,
+        sha: str,
+        diags: list[Diagnostic],
+        suppressions: dict[int, set[str]],
+        facts: dict[str, Any] | None,
+    ) -> None:
+        self._entries[path] = _encode_entry(sha, diags, suppressions, facts)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the merged entry set (best-effort; cache is advisory)."""
+        if not self._dirty and self.path.exists():
+            return
+        doc = {"key": engine_key(), "files": self._entries}
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc, sort_keys=True))
+            tmp.replace(self.path)
+        except OSError:
+            pass

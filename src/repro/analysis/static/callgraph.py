@@ -1,0 +1,198 @@
+"""Conservative static call graph over a :class:`~.project.Project`.
+
+Resolution strategy, most-precise first:
+
+1. plain names resolve through the module's local defs and import
+   aliases (chasing ``__init__`` re-exports);
+2. dotted names resolve alias-by-attribute (``sweep.busy_time`` through
+   an imported module, ``Cls.method`` through a local class);
+3. ``self.m()`` / ``cls.m()`` resolve within the enclosing class and its
+   in-project bases;
+4. any other attribute call (``obj.m()``) conservatively links to
+   *every* project function named ``m`` — class-hierarchy-analysis
+   style.  Over-approximation is the point: the oracle-reachability rule
+   (BSHM008) must not miss a path because a receiver type was unknown;
+5. a function *referenced* (not called) in an argument position becomes
+   a ``ref`` edge — callbacks like ``start_server(self._handle)`` keep
+   the handler reachable.
+
+Unresolvable callees (builtins, numpy, stdlib) produce no edge.  The
+graph never claims an edge is *taken*, only that it *may* be — rules
+built on it report reachability, and suppressions carry the burden of
+proof for deliberate exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .project import Project
+
+__all__ = ["CallEdge", "CallGraph", "build_callgraph", "iter_call_events"]
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    """One may-call edge, anchored at its source call site."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+    #: "call" for a direct call, "ref" for a function reference argument
+    kind: str = "call"
+
+
+def iter_call_events(block: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    """Every ``call`` event in an event-tree block, depth-first."""
+    for event in block:
+        kind = event["k"]
+        if kind == "call":
+            yield event
+        elif kind == "branch":
+            for arm in event["arms"]:
+                yield from iter_call_events(arm)
+        elif kind == "loop":
+            yield from iter_call_events(event["body"])
+
+
+class CallGraph:
+    """Adjacency over fully-qualified function names."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: dict[str, list[CallEdge]] = {}
+
+    def add_edge(self, edge: CallEdge) -> None:
+        self.edges.setdefault(edge.caller, []).append(edge)
+
+    def callees(self, qual: str) -> list[CallEdge]:
+        return self.edges.get(qual, [])
+
+    # -- resolution ----------------------------------------------------------
+    def resolve_call(
+        self, module: str, cls: str | None, fn: str
+    ) -> list[str]:
+        """Fully-qualified may-call targets for a callee string."""
+        project = self.project
+        if fn in ("", "?"):
+            return []
+        if fn.startswith("."):
+            return self._methods_named(fn[1:])
+        parts = fn.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and cls is not None:
+            if len(parts) == 2:
+                owner = f"{module}.{cls}"
+                resolved = project.class_method(owner, parts[1])
+                if resolved is not None:
+                    return [resolved]
+                return self._methods_named(parts[1])
+            # ``self.attr.m()``: receiver type unknown -> CHA on the tail
+            return self._methods_named(parts[-1])
+        resolved = project.resolve_symbol(module, head)
+        if resolved is None:
+            if len(parts) > 1:
+                # unknown receiver (a local variable, an external module
+                # that shadows nothing): CHA on the attribute name
+                return self._methods_named(parts[-1])
+            return []
+        for attr in parts[1:]:
+            if resolved is None:
+                return self._methods_named(parts[-1])
+            if resolved.endswith(":<module>"):
+                resolved = project.resolve_symbol(resolved.split(":", 1)[0], attr)
+            elif resolved in project.classes:
+                method = project.class_method(resolved, attr)
+                if method is not None:
+                    return [method]
+                resolved = None
+            else:
+                resolved = None
+        if resolved is None:
+            return self._methods_named(parts[-1]) if len(parts) > 1 else []
+        if resolved.endswith(":<module>"):
+            return []  # a bare module is not callable
+        if resolved in project.classes:
+            init = project.class_method(resolved, "__init__")
+            post = project.class_method(resolved, "__post_init__")
+            return [q for q in (init, post) if q is not None]
+        if resolved in project.functions:
+            return [resolved]
+        return []
+
+    def _methods_named(self, name: str) -> list[str]:
+        # CHA on dunders is pure noise: ``super().__init__(...)`` would
+        # link every constructor in the project to every other
+        if name.startswith("__") and name.endswith("__"):
+            return []
+        return list(self.project.by_name.get(name, ()))
+
+    # -- reachability --------------------------------------------------------
+    def reachable(self, roots: Iterable[str]) -> dict[str, CallEdge | None]:
+        """BFS closure from ``roots``; maps each reached function to the
+        edge that first discovered it (None for a root)."""
+        tree: dict[str, CallEdge | None] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.project.functions and root not in tree:
+                tree[root] = None
+                queue.append(root)
+        while queue:
+            cur = queue.pop(0)
+            for edge in self.callees(cur):
+                if edge.callee not in tree:
+                    tree[edge.callee] = edge
+                    queue.append(edge.callee)
+        return tree
+
+    def path_to(self, tree: dict[str, CallEdge | None], target: str) -> list[str]:
+        """The discovery path root -> ... -> target from a BFS tree."""
+        path = [target]
+        cur = target
+        while True:
+            edge = tree.get(cur)
+            if edge is None:
+                return list(reversed(path))
+            path.append(edge.caller)
+            cur = edge.caller
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Resolve every call event of every function into may-call edges."""
+    graph = CallGraph(project)
+    for qual, fn in project.functions.items():
+        module = fn["module"]
+        cls = fn["cls"]
+        for event in iter_call_events(fn["body"]):
+            for callee in graph.resolve_call(module, cls, event["fn"]):
+                graph.add_edge(
+                    CallEdge(qual, callee, event["line"], event["col"])
+                )
+            # function references in argument position: callback edges
+            for arg in event["args"]:
+                for var in arg["vars"]:
+                    for callee in _ref_targets(graph, module, cls, var):
+                        graph.add_edge(
+                            CallEdge(
+                                qual, callee, event["line"], event["col"], "ref"
+                            )
+                        )
+    return graph
+
+
+def _ref_targets(
+    graph: CallGraph, module: str, cls: str | None, var: str
+) -> list[str]:
+    """Project functions a bare argument reference may denote."""
+    parts = var.split(".")
+    head = parts[0]
+    if head in ("self", "cls") and cls is not None and len(parts) == 2:
+        resolved = graph.project.class_method(f"{module}.{cls}", parts[1])
+        return [resolved] if resolved is not None else []
+    if len(parts) == 1:
+        resolved = graph.project.resolve_symbol(module, head)
+        if resolved is not None and resolved in graph.project.functions:
+            return [resolved]
+    return []

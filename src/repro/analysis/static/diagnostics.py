@@ -43,3 +43,26 @@ class Diagnostic:
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.severity.value}[{self.rule_id}] {self.message}"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (incremental cache, ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=str(data["rule_id"]),
+            message=str(data["message"]),
+            severity=Severity(data["severity"]),
+        )

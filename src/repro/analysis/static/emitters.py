@@ -1,0 +1,154 @@
+"""Output emitters for ``bshm check``: text, JSON, SARIF 2.1.0.
+
+The text format is the canonical terminal rendering.  The JSON format is
+the machine-readable twin (same fields as :meth:`Diagnostic.to_dict`,
+plus run metadata) and round-trips through the baseline tooling.  The
+SARIF output follows the 2.1.0 schema closely enough for GitHub code
+scanning: one run, one driver, the full rule catalogue as
+``reportingDescriptor`` entries, one ``result`` per finding, and
+baselined findings carried with an ``external`` suppression so they
+render as suppressed instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .diagnostics import Diagnostic, Severity
+from .rules import RULES
+
+__all__ = ["FORMATS", "SARIF_VERSION", "render"]
+
+FORMATS = ("text", "json", "sarif")
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_text(
+    findings: Iterable[Diagnostic],
+    baselined: Iterable[Diagnostic],
+    n_files: int,
+) -> str:
+    lines = [diag.format() for diag in findings]
+    n_base = sum(1 for _ in baselined)
+    n_new = len(lines)
+    if n_new:
+        lines.append(f"bshm check: {n_new} finding(s) in {n_files} files")
+    else:
+        lines.append(f"bshm check: {n_files} files clean")
+    if n_base:
+        lines.append(f"bshm check: {n_base} baselined finding(s) not shown")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Diagnostic],
+    baselined: Iterable[Diagnostic],
+    n_files: int,
+) -> str:
+    doc = {
+        "version": 1,
+        "n_files": n_files,
+        "findings": [d.to_dict() for d in findings],
+        "baselined": [d.to_dict() for d in baselined],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "helpUri": "https://example.invalid/docs/invariants.md",
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            }
+        )
+    return descriptors
+
+
+def _sarif_result(
+    diag: Diagnostic, rule_index: dict[str, int], suppressed: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diag.rule_id,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": max(diag.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if diag.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule_id]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "accepted in bshm-baseline.json"}
+        ]
+    return result
+
+
+def render_sarif(
+    findings: Iterable[Diagnostic],
+    baselined: Iterable[Diagnostic],
+    n_files: int,
+) -> str:
+    rules = _sarif_rules()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = [_sarif_result(d, rule_index, suppressed=False) for d in findings]
+    results += [_sarif_result(d, rule_index, suppressed=True) for d in baselined]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "bshm-check",
+                        "informationUri": "https://example.invalid/bshm",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {"n_files": n_files},
+            }
+        ],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def render(
+    fmt: str,
+    findings: list[Diagnostic],
+    baselined: list[Diagnostic],
+    n_files: int,
+) -> str:
+    """Render one run's findings in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return render_text(findings, baselined, n_files)
+    if fmt == "json":
+        return render_json(findings, baselined, n_files)
+    if fmt == "sarif":
+        return render_sarif(findings, baselined, n_files)
+    raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}")

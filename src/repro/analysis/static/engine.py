@@ -1,16 +1,23 @@
-"""Checker engine: file discovery, suppressions, rule execution.
+"""Checker engine: file discovery, suppressions, file-rule execution.
 
-The engine parses each ``.py`` file once, runs every registered rule
-whose scope accepts the file, and filters the findings through
-``# bshm: ignore[<RULE>, <RULE>]`` suppressions.  A suppression covers the
-physical line it sits on, or — when written on a comment-only line — the
-first following line (so multi-clause statements can be annotated above).
+The engine parses each ``.py`` file once, runs every registered
+file-scoped rule whose scope accepts the file, and filters the findings
+through ``# bshm: ignore[<RULE>, <RULE>]`` suppressions.  A suppression
+covers the physical line it sits on; written on a comment-only line it
+covers the next *statement* — skipping blank lines, further comment
+lines and, crucially, decorator lines, so an annotation above a
+decorated ``def``/``class`` suppresses findings on the statement itself
+rather than silently covering only the ``@decorator`` line.
 
 Suppressions referencing an unknown rule id are themselves findings
 (:data:`UNKNOWN_SUPPRESSION_ID`): a typo'd ignore silently disables a
 tripwire, which is exactly the failure mode this layer exists to prevent.
 Unparseable files are reported as :data:`PARSE_ERROR_ID` findings rather
 than crashing the run.
+
+Whole-project analysis (the interprocedural rules, the incremental
+cache, baselines and diff mode) is orchestrated by
+:mod:`repro.analysis.static.runner` on top of :func:`analyze_source`.
 """
 
 from __future__ import annotations
@@ -18,17 +25,20 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from .diagnostics import Diagnostic, Severity
+from .project import extract_module_facts
 from .rules import RULES, FileContext, Rule, all_rules, module_parts
 
 __all__ = [
     "PARSE_ERROR_ID",
     "UNKNOWN_SUPPRESSION_ID",
+    "analyze_source",
     "check_source",
     "check_file",
     "check_paths",
+    "file_rules",
     "iter_python_files",
 ]
 
@@ -37,16 +47,40 @@ UNKNOWN_SUPPRESSION_ID = "BSHM901"
 
 _IGNORE_RE = re.compile(r"#\s*bshm:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
 _COMMENT_ONLY_RE = re.compile(r"^\s*#")
+_BLANK_RE = re.compile(r"^\s*$")
+
+
+def file_rules(rules: Sequence[Rule] | None = None) -> list[Rule]:
+    """The file-scoped rules (project rules run in the runner instead)."""
+    from .interprocedural import ProjectRule
+
+    candidates = list(rules) if rules is not None else all_rules()
+    return [r for r in candidates if not isinstance(r, ProjectRule)]
+
+
+def _decorator_targets(tree: ast.AST) -> dict[int, int]:
+    """Map every decorator line to the line of the statement it decorates."""
+    mapping: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node.decorator_list:
+            first = min(d.lineno for d in node.decorator_list)
+            for line in range(first, node.lineno):
+                mapping[line] = node.lineno
+    return mapping
 
 
 def _suppressions(
-    source: str, path: str
+    source: str, path: str, tree: ast.AST | None
 ) -> tuple[dict[int, set[str]], list[Diagnostic]]:
     """Map line number -> suppressed rule ids; flag unknown ids."""
     by_line: dict[int, set[str]] = {}
     problems: list[Diagnostic] = []
     known = set(RULES) | {PARSE_ERROR_ID, UNKNOWN_SUPPRESSION_ID}
-    for lineno, line in enumerate(source.splitlines(), start=1):
+    decorated = _decorator_targets(tree) if tree is not None else {}
+    lines = source.splitlines()
+    for lineno, line in enumerate(lines, start=1):
         match = _IGNORE_RE.search(line)
         if not match:
             continue
@@ -65,12 +99,63 @@ def _suppressions(
                     severity=Severity.ERROR,
                 )
             )
-        target = lineno
+        target: int | None = lineno
         if _COMMENT_ONLY_RE.match(line):
-            # a standalone suppression comment covers the next line
-            target = lineno + 1
-        by_line.setdefault(target, set()).update(ids & known)
+            # a standalone suppression comment covers the next statement:
+            # skip blank/comment lines, then hop over decorators so the
+            # annotation lands on the decorated def/class itself
+            target = None
+            probe = lineno + 1
+            while probe <= len(lines):
+                text = lines[probe - 1]
+                if _BLANK_RE.match(text) or _COMMENT_ONLY_RE.match(text):
+                    probe += 1
+                    continue
+                target = decorated.get(probe, probe)
+                break
+        if target is not None:
+            by_line.setdefault(target, set()).update(ids & known)
     return by_line, problems
+
+
+def analyze_source(
+    source: str,
+    path: str = "<snippet>",
+    rules: Sequence[Rule] | None = None,
+    *,
+    want_facts: bool = False,
+) -> tuple[list[Diagnostic], dict[int, set[str]], dict[str, Any] | None]:
+    """One parse of one file: ``(file findings, suppressions, facts)``.
+
+    ``facts`` (the project-analysis IR, see
+    :func:`repro.analysis.static.project.extract_module_facts`) is only
+    computed when ``want_facts`` is set; it is ``None`` for unparseable
+    files either way.
+    """
+    ctx = FileContext(path=path, parts=module_parts(path), source=source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        diag = Diagnostic(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"cannot parse file: {exc.msg}",
+            severity=Severity.ERROR,
+        )
+        return [diag], {}, None
+    suppressed, problems = _suppressions(source, path, tree)
+    findings: list[Diagnostic] = list(problems)
+    for rule in file_rules(rules):
+        if not rule.applies_to(ctx):
+            continue
+        for diag in rule.check(tree, ctx):
+            if diag.rule_id in suppressed.get(diag.line, ()):
+                continue
+            findings.append(diag)
+    facts = extract_module_facts(source, path) if want_facts else None
+    return sorted(findings), suppressed, facts
 
 
 def check_source(
@@ -78,37 +163,15 @@ def check_source(
     path: str = "<snippet>",
     rules: Sequence[Rule] | None = None,
 ) -> list[Diagnostic]:
-    """Run the rules over one source string (``path`` drives scoping)."""
-    ctx = FileContext(path=path, parts=module_parts(path), source=source)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule_id=PARSE_ERROR_ID,
-                message=f"cannot parse file: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
-    suppressed, problems = _suppressions(source, path)
-    findings: list[Diagnostic] = list(problems)
-    for rule in rules if rules is not None else all_rules():
-        if not rule.applies_to(ctx):
-            continue
-        for diag in rule.check(tree, ctx):
-            if diag.rule_id in suppressed.get(diag.line, ()):
-                continue
-            findings.append(diag)
-    return sorted(findings)
+    """Run the file rules over one source string (``path`` drives scoping)."""
+    findings, _suppressed, _facts = analyze_source(source, path, rules)
+    return findings
 
 
 def check_file(
     path: str | Path, rules: Sequence[Rule] | None = None
 ) -> list[Diagnostic]:
-    """Run the rules over one file."""
+    """Run the file rules over one file."""
     p = Path(path)
     return check_source(p.read_text(), path=str(p), rules=rules)
 
@@ -129,7 +192,10 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 def check_paths(
     paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
 ) -> tuple[list[Diagnostic], int]:
-    """Check every ``.py`` under ``paths``; return (findings, files checked)."""
+    """Check every ``.py`` under ``paths`` with the *file* rules; return
+    ``(findings, files checked)``.  The full engine — interprocedural
+    rules, cache, baseline — is :func:`repro.analysis.static.runner.run_check`.
+    """
     files = iter_python_files(paths)
     findings: list[Diagnostic] = []
     for f in files:

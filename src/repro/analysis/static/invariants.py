@@ -11,6 +11,12 @@ these rules would have caught):
 - :class:`FrozenMutation` (BSHM005) — Schedule/Interval/Job immutability
 - :class:`CheckpointSchemaDrift` (BSHM006) — schema-version bumps
 - :class:`UnstableArgsort` (BSHM007) — stable sorts in order-sensitive kernels
+- :class:`AsyncBlockingCall` (BSHM010) — no sync blocking in ``async def``
+- :class:`ToleranceDrift` (BSHM012) — tolerances come from ``core/tolerance.py``
+
+The interprocedural tier (BSHM008/009/011) lives in
+:mod:`repro.analysis.static.interprocedural` and runs over the whole
+project graph rather than one file.
 
 Suppress a finding with ``# bshm: ignore[<RULE>]`` on the offending
 line (or on a comment-only line directly above) plus a justification.
@@ -45,6 +51,8 @@ __all__ = [
     "FrozenMutation",
     "CheckpointSchemaDrift",
     "UnstableArgsort",
+    "AsyncBlockingCall",
+    "ToleranceDrift",
     "compute_schema_manifest",
     "SCHEMA_MANIFEST_NAME",
 ]
@@ -322,6 +330,9 @@ class FrozenMutation(Rule):
     title = "mutation of a frozen structure"
     rationale = "memoization soundness: Schedule/Interval/Job are immutable"
     scopes = None
+    # tests mutating a frozen Interval/Job corrupt the same memo caches
+    # production code would; fixtures construct new objects instead
+    include_tests = True
 
     _FROZEN_FIELDS = frozenset({"arrival", "departure", "size", "left", "right"})
 
@@ -546,3 +557,157 @@ class UnstableArgsort(Rule):
                 "permutations must be stable for replay and for the "
                 "vectorized/sweep bit-parity contract",
             )
+
+
+#: calls that block the event loop when made from an ``async def`` body
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+    }
+)
+_SUBPROCESS_CALLS = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen", "getoutput"}
+)
+
+
+@register_rule
+class AsyncBlockingCall(Rule):
+    """Synchronous blocking calls inside ``async def`` bodies.
+
+    The service is a single asyncio loop: one ``time.sleep`` or
+    ``subprocess.run`` in a handler stalls *every* connection, turns the
+    read-timeout guarantees into fiction and (under load shedding) makes
+    the in-flight gauge lie.  Blocking work belongs in
+    ``loop.run_in_executor`` or an ``await``-able equivalent; tests that
+    deliberately stall a server to probe timeouts carry a justified
+    suppression.
+    """
+
+    id = "BSHM010"
+    title = "blocking call inside an async def body"
+    rationale = "single-loop service latency; read-timeout/shedding honesty"
+    scopes = ("service",)
+    include_tests = True
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        rule = self
+
+        class V(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.async_depth = 0
+                self.out: list[Diagnostic] = []
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self.async_depth += 1
+                self.generic_visit(node)
+                self.async_depth -= 1
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                # a nested sync def is not executed by the enclosing
+                # coroutine's await chain
+                depth, self.async_depth = self.async_depth, 0
+                self.generic_visit(node)
+                self.async_depth = depth
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if self.async_depth > 0:
+                    dotted = dotted_name(node.func)
+                    if dotted is not None:
+                        parts = dotted.split(".")
+                        blocking = dotted in _BLOCKING_CALLS or (
+                            len(parts) >= 2
+                            and parts[-2] == "subprocess"
+                            and parts[-1] in _SUBPROCESS_CALLS
+                        )
+                        if blocking:
+                            self.out.append(
+                                rule.diag(
+                                    ctx,
+                                    node,
+                                    f"blocking call {dotted!r} inside an "
+                                    "async def stalls the whole event loop; "
+                                    "use an awaitable (asyncio.sleep, "
+                                    "run_in_executor) instead",
+                                )
+                            )
+                self.generic_visit(node)
+
+        visitor = V()
+        visitor.visit(tree)
+        yield from visitor.out
+
+
+#: magnitude at or below which a float literal reads as a tolerance
+_TOLERANCE_MAGNITUDE = 1e-4
+#: approximate-comparison helpers whose tolerance kwargs must not be literals
+_ISCLOSE_NAMES = frozenset({"isclose", "allclose"})
+_TOL_KWARGS = frozenset({"atol", "rtol", "abs_tol", "rel_tol"})
+
+
+def _is_tolerance_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and 0.0 < abs(node.value) <= _TOLERANCE_MAGNITUDE
+    )
+
+
+@register_rule
+class ToleranceDrift(Rule):
+    """Float comparisons against ad-hoc tolerance literals.
+
+    Three independent ``1e-9`` copies is how the pre-PR4 codebase ended
+    up with fits/coincidence drift — :mod:`repro.core.tolerance` is the
+    single source of truth now, and any comparison against a raw
+    tolerance-magnitude literal (or a literal ``atol=``/``abs_tol=``)
+    outside that module reintroduces the drift one edit at a time.
+    Import ``TOLERANCE``/``SIZE_TOL``/``TIME_TOL`` instead.
+    """
+
+    id = "BSHM012"
+    title = "ad-hoc tolerance literal instead of core.tolerance constants"
+    rationale = "single tolerance source: repro.core.tolerance"
+    scopes = ("core", "online", "offline", "placement", "schedule", "service",
+              "machines", "lowerbound")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.filename == "tolerance.py":
+            return False  # the source of truth defines the literal
+        return super().applies_to(ctx)
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                for left, _op, right in compare_pairs(node):
+                    if _is_tolerance_literal(left) or _is_tolerance_literal(
+                        right
+                    ):
+                        yield self.diag(
+                            ctx,
+                            node,
+                            "comparison against a raw tolerance-magnitude "
+                            "float literal; use repro.core.tolerance "
+                            "(TOLERANCE / SIZE_TOL / TIME_TOL) so the "
+                            "noise floor cannot drift between modules",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None or dotted.split(".")[-1] not in _ISCLOSE_NAMES:
+                    continue
+                for kw in node.keywords:
+                    if kw.arg in _TOL_KWARGS and _is_tolerance_literal(kw.value):
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"literal {kw.arg}= tolerance in {dotted}(); "
+                            "pass a repro.core.tolerance constant instead",
+                        )
+                        break

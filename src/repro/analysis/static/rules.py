@@ -61,7 +61,18 @@ class FileContext:
         return self.parts[-1] if self.parts else self.path
 
     def top_package(self) -> str | None:
-        """First package directory under ``repro`` (``core``, ``online``, ...)."""
+        """First package directory under ``repro`` (``core``, ``online``, ...).
+
+        Test files resolve to the package they exercise — for
+        ``tests/service/test_server.py`` this is ``service`` — so rules
+        that opt into tests (``include_tests=True``) keep their scope
+        meaning across the wider ``tests/``+``benchmarks/`` default.
+        """
+        raw = PurePosixPath(PurePosixPath(self.path).as_posix()).parts
+        for anchor in ("tests", "benchmarks"):
+            if anchor in raw:
+                idx = len(raw) - 1 - raw[::-1].index(anchor)
+                return raw[idx + 1] if idx + 2 < len(raw) else None
         return self.parts[0] if len(self.parts) > 1 else None
 
 

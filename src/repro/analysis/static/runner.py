@@ -1,0 +1,199 @@
+"""Full-analysis orchestration: cache -> file rules -> project rules ->
+baseline -> diff filter.
+
+:func:`run_check` is the engine behind ``bshm check``:
+
+1. expand the target paths to ``.py`` files and sha256 their contents;
+2. for each file, reuse the cached ``(diagnostics, suppressions,
+   facts)`` triple when the hash matches, otherwise run
+   :func:`~.engine.analyze_source` once and cache the result;
+3. build the whole-program :class:`~.project.Project` from the facts of
+   every non-test, non-benchmark file and run the interprocedural rules
+   (BSHM008/009/011) over its call graph, applying the same per-line
+   suppressions as the file rules;
+4. split the findings against the committed baseline (new findings fail,
+   baselined ones are reported as suppressed);
+5. in ``--diff`` mode, keep only findings on lines changed since the
+   given git ref.
+
+Tests and benchmarks are analyzed by the *file* rules (each rule's
+``include_tests`` decides) but excluded from the project call graph:
+tests call ``*_reference`` oracles on purpose, and letting their edges
+into the graph would poison reachability for the serving code.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Any, Iterable, Sequence
+
+from .baseline import load_baseline, split_baseline
+from .cache import AnalysisCache, content_hash
+from .diagnostics import Diagnostic
+from .engine import analyze_source, iter_python_files
+from .interprocedural import check_project
+from .project import build_project
+from .rules import Rule
+
+__all__ = ["CheckReport", "run_check", "git_changed_lines"]
+
+DEFAULT_CACHE_DIR = ".bshm_cache"
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``bshm check`` run produced."""
+
+    findings: list[Diagnostic] = field(default_factory=list)
+    baselined: list[Diagnostic] = field(default_factory=list)
+    n_files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _in_tests(path: str) -> bool:
+    parts = PurePosixPath(PurePosixPath(path).as_posix()).parts
+    return (
+        "tests" in parts or "benchmarks" in parts or parts[-1] == "conftest.py"
+    )
+
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def git_changed_lines(
+    base: str, cwd: str | Path = "."
+) -> dict[str, set[int]] | None:
+    """``{posix path: changed line numbers}`` vs ``base`` (None when git
+    is unavailable or the ref does not resolve)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--unified=0", "--no-color", base, "--", "*.py"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    changed: dict[str, set[int]] = {}
+    current: str | None = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ b/"):
+            current = line[len("+++ b/") :].strip()
+            changed.setdefault(current, set())
+        elif line.startswith("+++ "):
+            current = None  # /dev/null: file deleted
+        elif current is not None:
+            match = _HUNK_RE.match(line)
+            if match:
+                start = int(match.group(1))
+                count = int(match.group(2)) if match.group(2) is not None else 1
+                changed[current].update(range(start, start + count))
+    return changed
+
+
+def _norm(path: str) -> str:
+    return PurePosixPath(PurePosixPath(path).as_posix()).as_posix()
+
+
+def _diff_filter(
+    findings: list[Diagnostic], changed: dict[str, set[int]]
+) -> list[Diagnostic]:
+    by_path = {_norm(p): lines for p, lines in changed.items()}
+    return [d for d in findings if d.line in by_path.get(_norm(d.path), ())]
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    *,
+    use_cache: bool = True,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    baseline_path: str | Path | None = None,
+    diff_base: str | None = None,
+    project_rules: bool = True,
+) -> CheckReport:
+    """Run the full analysis over ``paths``; see the module docstring.
+
+    Raises :class:`~.baseline.BaselineError` for an unreadable baseline
+    and :class:`ValueError` when ``diff_base`` cannot be resolved.
+    """
+    files = iter_python_files(paths)
+    cache = AnalysisCache(cache_dir) if use_cache else None
+
+    findings: list[Diagnostic] = []
+    sources: dict[str, list[str]] = {}
+    supp_by_path: dict[str, dict[int, set[str]]] = {}
+    facts_list: list[dict[str, Any] | None] = []
+    for f in files:
+        path = str(f)
+        try:
+            raw = f.read_bytes()
+        except OSError:
+            continue
+        source = raw.decode("utf-8", errors="replace")
+        sources[_norm(path)] = source.splitlines()
+        sha = content_hash(raw)
+        cached = cache.get(path, sha) if cache is not None else None
+        if cached is not None:
+            diags, supp, facts = cached
+        else:
+            diags, supp, facts = analyze_source(
+                source, path, rules, want_facts=True
+            )
+            if cache is not None:
+                cache.put(path, sha, diags, supp, facts)
+        findings.extend(diags)
+        supp_by_path[_norm(path)] = supp
+        if not _in_tests(path):
+            facts_list.append(facts)
+
+    if project_rules:
+        project = build_project(facts_list)
+        for diag in check_project(project):
+            supp = supp_by_path.get(_norm(diag.path), {})
+            if diag.rule_id in supp.get(diag.line, ()):
+                continue
+            findings.append(diag)
+
+    if cache is not None:
+        cache.save()
+
+    def line_text(diag: Diagnostic) -> str:
+        lines = sources.get(_norm(diag.path), [])
+        return lines[diag.line - 1] if 0 < diag.line <= len(lines) else ""
+
+    baselined: list[Diagnostic] = []
+    if baseline_path is not None:
+        fps = load_baseline(baseline_path)
+        findings, baselined = split_baseline(findings, fps, line_text)
+
+    if diff_base is not None:
+        changed = git_changed_lines(diff_base)
+        if changed is None:
+            raise ValueError(
+                f"cannot diff against {diff_base!r}: git unavailable or "
+                "the ref does not resolve"
+            )
+        findings = _diff_filter(findings, changed)
+        baselined = _diff_filter(baselined, changed)
+
+    report = CheckReport(
+        findings=sorted(findings),
+        baselined=sorted(baselined),
+        n_files=len(files),
+    )
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    return report

@@ -26,10 +26,14 @@ Subcommands::
                                   # re-execute a recorded service trace
     bshm lint trace.csv [--ladder ladder.csv]
                                   # sanity-check a job trace / catalogue pair
-    bshm check [paths ...]        # invariant-aware static analysis (AST lint
-                                  # rules over src/ by default; exit 1 on
-                                  # findings).  --list-rules, --external,
-                                  # --refresh-schema-manifest
+    bshm check [paths ...]        # invariant-aware static analysis: AST lint
+                                  # rules + whole-program call-graph rules
+                                  # over src/ tests/ benchmarks/ by default;
+                                  # exit 1 on findings.  --format text|json|
+                                  # sarif, --baseline/--write-baseline,
+                                  # --diff REF (changed lines only),
+                                  # --no-cache/--cache-dir, --list-rules,
+                                  # --external, --refresh-schema-manifest
 """
 
 from __future__ import annotations
@@ -708,19 +712,35 @@ def _run_external_analyzers(paths: list[str]) -> int:
     return status
 
 
+DEFAULT_CHECK_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "bshm-baseline.json"
+
+
 def _cmd_check(
     paths: list[str],
     list_rules: bool,
     refresh_schema_manifest: bool,
     external: bool,
+    fmt: str = "text",
+    output: str | None = None,
+    baseline: str | None = None,
+    no_baseline: bool = False,
+    write_baseline_path: str | None = None,
+    diff_base: str | None = None,
+    no_cache: bool = False,
+    cache_dir: str = ".bshm_cache",
 ) -> int:
     import json
 
     from .analysis.static import (
         SCHEMA_MANIFEST_NAME,
+        BaselineError,
         all_rules,
-        check_paths,
         compute_schema_manifest,
+        line_text_from_disk,
+        render,
+        run_check,
+        write_baseline,
     )
 
     if list_rules:
@@ -739,23 +759,52 @@ def _cmd_check(
             "CHECKPOINT_VERSION (docs/invariants.md, BSHM006)"
         )
         return 0
+    if not paths:
+        paths = [p for p in DEFAULT_CHECK_PATHS if Path(p).exists()] or ["src"]
     failed = _fail(
         *(
             f"path {p!r} does not exist" if not Path(p).exists() else None
             for p in paths
-        )
+        ),
+        _output_error(output, "report output") if output else None,
+        "--baseline and --no-baseline are mutually exclusive"
+        if baseline and no_baseline
+        else None,
     )
     if failed:
         return failed
-    findings, n_files = check_paths(paths)
-    for diag in findings:
-        print(diag.format())
-    status = 0
-    if findings:
-        print(f"bshm check: {len(findings)} finding(s) in {n_files} files")
-        status = 1
+
+    if write_baseline_path is not None:
+        report = run_check(
+            paths, use_cache=not no_cache, cache_dir=cache_dir
+        )
+        n = write_baseline(write_baseline_path, report.findings, line_text_from_disk)
+        print(
+            f"bshm check: baseline with {n} finding(s) written to "
+            f"{write_baseline_path}"
+        )
+        return 0
+
+    baseline_path: str | None = baseline
+    if baseline_path is None and not no_baseline and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    try:
+        report = run_check(
+            paths,
+            use_cache=not no_cache,
+            cache_dir=cache_dir,
+            baseline_path=baseline_path,
+            diff_base=diff_base,
+        )
+    except (BaselineError, ValueError) as exc:
+        return _fail(str(exc)) or 2
+    rendered = render(fmt, report.findings, report.baselined, report.n_files)
+    if output:
+        Path(output).write_text(rendered + "\n")
+        print(f"bshm check: {fmt} report written to {output}")
     else:
-        print(f"bshm check: {n_files} files clean")
+        print(rendered)
+    status = 1 if report.findings else 0
     if external and _run_external_analyzers(paths) != 0:
         status = 1
     return status
@@ -867,11 +916,45 @@ def main(argv: list[str] | None = None) -> int:
         "check", help="invariant-aware static analysis (AST lint rules)"
     )
     check_p.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files/directories to analyze (default: src)",
+        "paths", nargs="*", default=[],
+        help="files/directories to analyze (default: src tests benchmarks)",
     )
     check_p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    check_p.add_argument(
+        "--format", dest="fmt", choices=("text", "json", "sarif"),
+        default="text", help="output format (default: text)",
+    )
+    check_p.add_argument(
+        "--output", help="write the report here instead of stdout"
+    )
+    check_p.add_argument(
+        "--baseline",
+        help=f"baseline JSON of accepted findings (default: {DEFAULT_BASELINE} "
+        "when present)",
+    )
+    check_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any committed baseline (report everything)",
+    )
+    check_p.add_argument(
+        "--write-baseline", dest="write_baseline_path", nargs="?",
+        const=DEFAULT_BASELINE, default=None, metavar="PATH",
+        help=f"accept all current findings into PATH (default {DEFAULT_BASELINE}) "
+        "and exit 0",
+    )
+    check_p.add_argument(
+        "--diff", dest="diff_base", metavar="REF",
+        help="only report findings on lines changed since this git ref",
+    )
+    check_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash incremental cache",
+    )
+    check_p.add_argument(
+        "--cache-dir", default=".bshm_cache",
+        help="incremental cache directory (default: .bshm_cache)",
     )
     check_p.add_argument(
         "--refresh-schema-manifest",
@@ -920,7 +1003,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args.trace, args.ladder_path)
     if args.command == "check":
         return _cmd_check(
-            args.paths, args.list_rules, args.refresh_schema_manifest, args.external
+            args.paths, args.list_rules, args.refresh_schema_manifest,
+            args.external, args.fmt, args.output, args.baseline,
+            args.no_baseline, args.write_baseline_path, args.diff_base,
+            args.no_cache, args.cache_dir,
         )
     return 2
 

@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from .intervals import Interval, IntervalSet
+from .tolerance import TOLERANCE
 
 __all__ = ["StepFunction", "pulse", "sum_pulses", "sum_pulses_reference"]
 
@@ -157,7 +158,9 @@ class StepFunction:
     def map(self, fn: Callable[[float], float]) -> "StepFunction":
         """Apply ``fn`` to each constant value (``fn(0)`` must be 0 to keep
         the implicit zero extension consistent; this is asserted)."""
-        if abs(fn(0.0)) > 1e-12:
+        # deliberately stricter than TOLERANCE: fn(0) must be exactly zero
+        # up to rounding, or the implicit zero extension drifts
+        if abs(fn(0.0)) > 1e-12:  # bshm: ignore[BSHM012]
             raise ValueError("map requires fn(0) == 0 to preserve zero extension")
         return StepFunction(self.breaks.copy(), np.array([fn(v) for v in self.values]))
 
@@ -260,5 +263,5 @@ def sum_pulses_reference(pulses: Sequence[tuple[float, float, float]]) -> StepFu
     deltas = np.array([events[t] for t in breaks])
     values = np.cumsum(deltas)[:-1]
     # tiny negative residue from float cancellation -> clamp to 0
-    values[np.abs(values) < 1e-9] = 0.0
+    values[np.abs(values) < TOLERANCE] = 0.0
     return StepFunction(breaks, values).compact()

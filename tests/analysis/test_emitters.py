@@ -1,0 +1,98 @@
+"""Emitter tests: SARIF 2.1.0 shape, JSON round-trip, text rendering."""
+
+import json
+
+from repro.analysis.static import RULES, Diagnostic, Severity, render
+from repro.analysis.static.emitters import SARIF_VERSION
+
+FINDING = Diagnostic(
+    path="src/repro/core/foo.py",
+    line=12,
+    col=5,
+    rule_id="BSHM001",
+    message="closed-interval comparison",
+    severity=Severity.ERROR,
+)
+BASELINED = Diagnostic(
+    path="src/repro/service/bar.py",
+    line=3,
+    col=1,
+    rule_id="BSHM011",
+    message="ack before append",
+    severity=Severity.ERROR,
+)
+
+
+class TestSarif:
+    def sarif(self, findings=(FINDING,), baselined=(BASELINED,)):
+        return json.loads(render("sarif", list(findings), list(baselined), 2))
+
+    def test_envelope_shape(self):
+        doc = self.sarif()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "bshm-check"
+
+    def test_full_rule_catalogue_as_descriptors(self):
+        driver = self.sarif()["runs"][0]["tool"]["driver"]
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(RULES)
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+            )
+
+    def test_result_location_and_rule_index(self):
+        run = self.sarif()["runs"][0]
+        result = run["results"][0]
+        assert result["ruleId"] == "BSHM001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "closed-interval comparison"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/core/foo.py"
+        assert loc["region"] == {"startLine": 12, "startColumn": 5}
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "BSHM001"
+
+    def test_baselined_findings_carry_suppressions(self):
+        results = self.sarif()["runs"][0]["results"]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(suppressed) == 1
+        assert suppressed[0]["ruleId"] == "BSHM011"
+        assert suppressed[0]["suppressions"][0]["kind"] == "external"
+        live = [r for r in results if "suppressions" not in r]
+        assert [r["ruleId"] for r in live] == ["BSHM001"]
+
+
+class TestJson:
+    def test_round_trips_through_diagnostics(self):
+        doc = json.loads(render("json", [FINDING], [BASELINED], 7))
+        assert doc["n_files"] == 7
+        back = [Diagnostic.from_dict(d) for d in doc["findings"]]
+        assert back == [FINDING]
+        base_back = [Diagnostic.from_dict(d) for d in doc["baselined"]]
+        assert base_back == [BASELINED]
+
+
+class TestText:
+    def test_counts_and_lines(self):
+        out = render("text", [FINDING], [BASELINED], 2)
+        assert FINDING.format() in out
+        assert "1 finding(s) in 2 files" in out
+        assert "1 baselined finding(s)" in out
+
+    def test_clean_run(self):
+        assert "2 files clean" in render("text", [], [], 2)
+
+    def test_unknown_format_raises(self):
+        try:
+            render("xml", [], [], 0)
+        except ValueError as exc:
+            assert "xml" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")

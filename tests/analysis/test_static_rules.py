@@ -379,7 +379,7 @@ class TestEngine:
     def test_rule_catalogue_is_stable(self):
         assert sorted(RULES) == [
             "BSHM001", "BSHM002", "BSHM003", "BSHM004", "BSHM005", "BSHM006",
-            "BSHM007",
+            "BSHM007", "BSHM008", "BSHM009", "BSHM010", "BSHM011", "BSHM012",
         ]
 
     def test_findings_are_sorted_and_formatted(self):
@@ -398,3 +398,175 @@ class TestEngine:
         findings, n_files = check_paths([REPO_ROOT / "src"])
         assert n_files > 100
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM010 — blocking calls inside async service code
+# ---------------------------------------------------------------------------
+
+class TestAsyncBlockingCall:
+    def test_time_sleep_in_async_def_fires(self):
+        snippet = """
+        import time
+        async def handler(self):
+            time.sleep(0.5)
+        """
+        assert ids(check(snippet, "service/foo.py")) == ["BSHM010"]
+
+    def test_subprocess_run_in_async_def_fires(self):
+        snippet = """
+        import subprocess
+        async def handler(self):
+            subprocess.run(["ls"])
+        """
+        assert ids(check(snippet, "service/foo.py")) == ["BSHM010"]
+
+    def test_applies_in_service_tests_too(self):
+        snippet = """
+        import time
+        async def test_handler():
+            time.sleep(0.5)
+        """
+        assert ids(check(snippet, "tests/service/test_foo.py")) == ["BSHM010"]
+
+    def test_asyncio_sleep_is_clean(self):
+        snippet = """
+        import asyncio
+        async def handler(self):
+            await asyncio.sleep(0.5)
+        """
+        assert check(snippet, "service/foo.py") == []
+
+    def test_sync_def_is_clean(self):
+        snippet = "import time\ndef worker():\n    time.sleep(0.5)\n"
+        assert check(snippet, "service/foo.py") == []
+
+    def test_nested_sync_def_inside_async_is_clean(self):
+        snippet = """
+        import time
+        async def handler(self):
+            def blocking_helper():
+                time.sleep(0.5)
+            return blocking_helper
+        """
+        assert check(snippet, "service/foo.py") == []
+
+    def test_out_of_scope_is_clean(self):
+        snippet = "import time\nasync def f():\n    time.sleep(1)\n"
+        assert check(snippet, "core/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "import time\n"
+            "async def handler(self):\n"
+            "    time.sleep(0.5)  # bshm: ignore[BSHM010]\n"
+        )
+        assert check_source(snippet, path="service/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# BSHM012 — tolerance drift: raw noise-floor literals in comparisons
+# ---------------------------------------------------------------------------
+
+class TestToleranceDrift:
+    def test_literal_comparison_fires(self):
+        snippet = "def f(x):\n    return abs(x) < 1e-9\n"
+        assert ids(check(snippet, "core/foo.py")) == ["BSHM012"]
+
+    def test_isclose_with_literal_atol_fires(self):
+        snippet = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.isclose(a, b, atol=1e-8)\n"
+        )
+        assert ids(check(snippet, "service/foo.py")) == ["BSHM012"]
+
+    def test_named_constant_is_clean(self):
+        snippet = (
+            "from repro.core.tolerance import TOLERANCE\n"
+            "def f(x):\n    return abs(x) < TOLERANCE\n"
+        )
+        assert check(snippet, "core/foo.py") == []
+
+    def test_large_literal_is_clean(self):
+        # 0.5 is a semantic threshold, not a noise floor
+        snippet = "def f(x):\n    return x < 0.5\n"
+        assert check(snippet, "core/foo.py") == []
+
+    def test_tolerance_module_itself_is_exempt(self):
+        snippet = "TOLERANCE = 1e-9\nassert TOLERANCE < 1e-4\n"
+        assert check(snippet, "core/tolerance.py") == []
+
+    def test_out_of_scope_is_clean(self):
+        snippet = "def f(x):\n    return abs(x) < 1e-9\n"
+        assert check(snippet, "viz/foo.py") == []
+
+    def test_suppressed(self):
+        snippet = (
+            "def f(x):\n"
+            "    return abs(x) < 1e-12  # bshm: ignore[BSHM012]\n"
+        )
+        assert check_source(snippet, path="core/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# suppression placement: comment-only ignores attach to the next statement
+# ---------------------------------------------------------------------------
+
+class TestSuppressionPlacement:
+    def test_comment_above_statement_suppresses_it(self):
+        snippet = (
+            "def f(a, b):\n"
+            "    # bshm: ignore[BSHM001]\n"
+            "    return a.arrival <= b.departure\n"
+        )
+        assert check_source(snippet, path="core/foo.py") == []
+
+    def test_comment_above_decorated_def_covers_the_def(self):
+        # regression: the ignore used to land on the decorator line only
+        from repro.analysis.static import analyze_source
+
+        snippet = (
+            "# bshm: ignore[BSHM003]\n"
+            "@functools.cache\n"
+            "def helper():\n"
+            "    return busy_time_reference()\n"
+        )
+        findings, supp, _ = analyze_source(snippet, "core/foo.py")
+        assert supp == {3: {"BSHM003"}}  # the def line, not the decorator
+
+    def test_multi_decorator_stack_is_hopped(self):
+        from repro.analysis.static import analyze_source
+
+        snippet = (
+            "# bshm: ignore[BSHM005]\n"
+            "@first\n"
+            "@second(arg=1)\n"
+            "class C:\n"
+            "    pass\n"
+        )
+        _findings, supp, _ = analyze_source(snippet, "core/foo.py")
+        assert supp == {4: {"BSHM005"}}
+
+    def test_blank_and_comment_lines_are_skipped(self):
+        snippet = (
+            "def f(a, b):\n"
+            "    # bshm: ignore[BSHM001]\n"
+            "\n"
+            "    # explanation comment\n"
+            "    return a.arrival <= b.departure\n"
+        )
+        assert check_source(snippet, path="core/foo.py") == []
+
+    def test_comment_does_not_leak_past_its_statement(self):
+        snippet = (
+            "def f(a, b):\n"
+            "    # bshm: ignore[BSHM001]\n"
+            "    x = 1\n"
+            "    return a.arrival <= b.departure\n"
+        )
+        assert ids(check_source(snippet, path="core/foo.py")) == ["BSHM001"]
+
+    def test_trailing_comment_at_eof_is_harmless(self):
+        snippet = "x = 1\n# bshm: ignore[BSHM001]\n"
+        assert check_source(snippet, path="core/foo.py") == []

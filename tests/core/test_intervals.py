@@ -61,7 +61,7 @@ class TestInterval:
     def test_immutable(self):
         iv = Interval(0, 1)
         with pytest.raises(AttributeError):
-            iv.left = 5.0
+            iv.left = 5.0  # bshm: ignore[BSHM005]  (asserting frozenness)
 
     def test_ordering_and_hash(self):
         a, b = Interval(0, 1), Interval(0, 2)

@@ -44,7 +44,7 @@ class TestJobConstruction:
     def test_immutable(self):
         j = Job(1, 0, 1)
         with pytest.raises(AttributeError):
-            j.size = 2.0
+            j.size = 2.0  # bshm: ignore[BSHM005]  (asserting frozenness)
 
 
 class TestJobQueries:

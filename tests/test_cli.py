@@ -210,8 +210,80 @@ class TestCliCheck:
     def test_check_list_rules(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("BSHM001", "BSHM006"):
+        for rule_id in ("BSHM001", "BSHM006", "BSHM008", "BSHM012"):
             assert rule_id in out
+
+    def test_check_default_scope_covers_tests_and_benchmarks(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        for rel in ("src/repro/core/a.py", "tests/core/test_a.py", "benchmarks/bench_a.py"):
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--no-cache"]) == 0
+        assert "3 files clean" in capsys.readouterr().out
+
+    def test_check_sarif_output(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a, b):\n    return a.arrival <= b.departure\n")
+        assert main(["check", "--no-cache", "--format", "sarif", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "BSHM001"
+
+    def test_check_json_output_to_file(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a, b):\n    return a.arrival <= b.departure\n")
+        out = tmp_path / "report.json"
+        assert (
+            main(
+                ["check", "--no-cache", "--format", "json",
+                 "--output", str(out), str(bad)]
+            )
+            == 1
+        )
+        doc = json.loads(out.read_text())
+        assert [d["rule_id"] for d in doc["findings"]] == ["BSHM001"]
+
+    def test_check_write_baseline_then_green(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a, b):\n    return a.arrival <= b.departure\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--no-cache", "--write-baseline"]) == 0
+        assert "baseline with 1 finding(s)" in capsys.readouterr().out
+        # the committed default baseline is picked up automatically
+        assert main(["check", "--no-cache"]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # opting out reinstates the failure
+        assert main(["check", "--no-cache", "--no-baseline"]) == 1
+
+    def test_check_cache_dir_round_trip(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a, b):\n    return a.arrival <= b.departure\n")
+        cache_dir = tmp_path / "cachehere"
+        argv = ["check", "--cache-dir", str(cache_dir), str(bad)]
+        assert main(argv) == 1
+        assert (cache_dir / "cache.json").exists()
+        assert main(argv) == 1  # warm run reports the same findings
+        out = capsys.readouterr().out
+        assert "BSHM001" in out
+
+    def test_check_diff_bad_ref(self, tmp_path, monkeypatch, capsys):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "a.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--no-cache", "--diff", "no-such-ref"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCliRecover:

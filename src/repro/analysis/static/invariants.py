@@ -647,6 +647,8 @@ _TOLERANCE_MAGNITUDE = 1e-4
 #: approximate-comparison helpers whose tolerance kwargs must not be literals
 _ISCLOSE_NAMES = frozenset({"isclose", "allclose"})
 _TOL_KWARGS = frozenset({"atol", "rtol", "abs_tol", "rel_tol"})
+#: assignment-target substrings that mark a binding as a tolerance alias
+_TOL_NAME_MARKERS = ("tol", "eps")
 
 
 def _is_tolerance_literal(node: ast.expr) -> bool:
@@ -661,14 +663,19 @@ def _is_tolerance_literal(node: ast.expr) -> bool:
 
 @register_rule
 class ToleranceDrift(Rule):
-    """Float comparisons against ad-hoc tolerance literals.
+    """Float comparisons, slack arithmetic or aliases of ad-hoc tolerance literals.
 
     Three independent ``1e-9`` copies is how the pre-PR4 codebase ended
     up with fits/coincidence drift — :mod:`repro.core.tolerance` is the
     single source of truth now, and any comparison against a raw
     tolerance-magnitude literal (or a literal ``atol=``/``abs_tol=``)
     outside that module reintroduces the drift one edit at a time.
-    Import ``TOLERANCE``/``SIZE_TOL``/``TIME_TOL`` instead.
+    The rule also catches the two ways such a literal usually sneaks back
+    in without a direct comparison: **additive slack** (``x + 1e-12``,
+    ``ratio - 1e-9``, ``1 + 1e-12`` inside a larger expression) and
+    **private aliases** (``_EPS = 1e-9``, ``_TOL = 1e-9``) that fork the
+    constant under a local name.  Import ``TOLERANCE``/``SIZE_TOL``/
+    ``TIME_TOL``/``FINE_TOL`` instead.
     """
 
     id = "BSHM012"
@@ -698,6 +705,42 @@ class ToleranceDrift(Rule):
                             "noise floor cannot drift between modules",
                         )
                         break
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                if _is_tolerance_literal(node.left) or _is_tolerance_literal(
+                    node.right
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "additive slack from a raw tolerance-magnitude float "
+                        "literal; use repro.core.tolerance (TOLERANCE for "
+                        "accumulated noise, FINE_TOL for ulp-level guards) "
+                        "so the slack cannot drift between modules",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                names = [t.id for t in targets if isinstance(t, ast.Name)]
+                if (
+                    names
+                    and node.value is not None
+                    and _is_tolerance_literal(node.value)
+                    and any(
+                        marker in name.lower()
+                        for name in names
+                        for marker in _TOL_NAME_MARKERS
+                    )
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"local tolerance alias {names[0]!r} bound to a raw "
+                        "float literal forks the noise floor; alias a "
+                        "repro.core.tolerance constant instead",
+                    )
             elif isinstance(node, ast.Call):
                 dotted = dotted_name(node.func)
                 if dotted is None or dotted.split(".")[-1] not in _ISCLOSE_NAMES:

@@ -17,7 +17,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from .intervals import Interval, IntervalSet
-from .tolerance import TOLERANCE
+from .tolerance import FINE_TOL, TOLERANCE
 
 __all__ = ["StepFunction", "pulse", "sum_pulses", "sum_pulses_reference"]
 
@@ -160,7 +160,7 @@ class StepFunction:
         the implicit zero extension consistent; this is asserted)."""
         # deliberately stricter than TOLERANCE: fn(0) must be exactly zero
         # up to rounding, or the implicit zero extension drifts
-        if abs(fn(0.0)) > 1e-12:  # bshm: ignore[BSHM012]
+        if abs(fn(0.0)) > FINE_TOL:
             raise ValueError("map requires fn(0) == 0 to preserve zero extension")
         return StepFunction(self.breaks.copy(), np.array([fn(v) for v in self.values]))
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from .intervals import Interval, IntervalSet
 from .stepfun import StepFunction
+from .tolerance import TOLERANCE
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..jobs.job import Job
@@ -64,7 +65,7 @@ __all__ = [
 ]
 
 #: values smaller than this are float residue of event cancellation, not load
-_LOAD_EPS = 1e-9
+_LOAD_EPS = TOLERANCE
 
 
 def _as_arrays(

@@ -16,10 +16,17 @@ size or duration in the experiment suite.
 
 from __future__ import annotations
 
-__all__ = ["TOLERANCE", "SIZE_TOL", "TIME_TOL"]
+__all__ = ["TOLERANCE", "SIZE_TOL", "TIME_TOL", "FINE_TOL"]
 
 #: the repo-wide absolute tolerance for float comparisons
 TOLERANCE = 1e-9
+
+#: the deliberately finer slack for exact-arithmetic guards (the placement
+#: gap search, ladder rate-ratio classification, oversize rejection): sites
+#: that must only forgive the last few ulps of a single operation, never
+#: accumulated rounding — using :data:`TOLERANCE` there would make two
+#: genuinely different altitudes or ratios compare equal
+FINE_TOL = 1e-12
 
 #: tolerance for capacity/size comparisons (machine fits, pool admission)
 SIZE_TOL = TOLERANCE

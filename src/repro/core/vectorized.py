@@ -49,6 +49,7 @@ import numpy as np
 
 from .intervals import IntervalSet
 from .stepfun import StepFunction
+from .tolerance import TOLERANCE
 
 __all__ = [
     "DEFAULT_VEC_THRESHOLD",
@@ -68,7 +69,7 @@ __all__ = [
 
 #: values smaller than this are float residue of event cancellation, not load
 #: (kept identical to ``repro.core.sweep._LOAD_EPS``)
-_LOAD_EPS = 1e-9
+_LOAD_EPS = TOLERANCE
 
 #: instances with at least this many jobs take the columnar path by default.
 #: Chosen where the per-object costs of the sweep entry points (list building,

@@ -23,19 +23,20 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.tolerance import FINE_TOL, TOLERANCE
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 
 __all__ = ["OptimalConfig", "optimal_config", "demands_at", "ConfigSolver"]
 
-_TOL = 1e-9
+_TOL = TOLERANCE
 
 
 def _ceil_div(x: float, g: float) -> int:
     """``ceil(x / g)`` robust to float noise; 0 for non-positive ``x``."""
     if x <= _TOL:
         return 0
-    return int(math.ceil(x / g - 1e-12))
+    return int(math.ceil(x / g - FINE_TOL))
 
 
 @dataclass(frozen=True, slots=True)

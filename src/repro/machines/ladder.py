@@ -18,11 +18,12 @@ from __future__ import annotations
 import enum
 from typing import Iterable, Iterator, Sequence
 
+from ..core.tolerance import FINE_TOL, TOLERANCE
 from .types import MachineType
 
 __all__ = ["Regime", "Ladder", "TypeForest"]
 
-_REL_TOL = 1e-12
+_REL_TOL = FINE_TOL
 
 
 class Regime(enum.Enum):
@@ -152,7 +153,7 @@ class Ladder:
         for t in self._types:
             q = t.rate / base
             k = round(q).bit_length() - 1 if q >= 1 else -1
-            if k < 0 or abs(q - (1 << k)) > 1e-9 * q:
+            if k < 0 or abs(q - (1 << k)) > TOLERANCE * q:
                 return False
         return True
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.tolerance import FINE_TOL
 from .ladder import Ladder
 from .types import MachineType
 
@@ -99,7 +100,7 @@ def _round_up_pow2(x: float) -> float:
     """Smallest power of two ``>= x`` (x > 0)."""
     if x <= 0:
         raise ValueError("x must be positive")
-    k = math.ceil(math.log2(x) - 1e-12)
+    k = math.ceil(math.log2(x) - FINE_TOL)
     return float(2.0**k)
 
 

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import math
 
+from ..core.tolerance import TOLERANCE
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from ..placement.greedy import place_jobs
 from ..placement.strips import split_into_strips, two_color
 from ..schedule.schedule import MachineKey, Schedule
+from .columnar_peel import dec_offline_columnar, resolve_engine
 from .dual_coloring import dual_coloring_assign
 
 __all__ = ["dec_offline", "strip_budget"]
@@ -44,7 +46,7 @@ def strip_budget(rate_ratio: float, factor: float = 2.0) -> int:
     """
     if rate_ratio <= 1:
         raise ValueError("rate ratio must exceed 1 between consecutive types")
-    return max(1, math.ceil(factor * (rate_ratio - 1.0) - 1e-9))
+    return max(1, math.ceil(factor * (rate_ratio - 1.0) - TOLERANCE))
 
 
 def dec_offline(
@@ -55,6 +57,7 @@ def dec_offline(
     strip_divisor: float = 2.0,
     placement_order: str = "arrival",
     require_regime: bool = True,
+    engine: str = "auto",
 ) -> Schedule:
     """Run DEC-OFFLINE on an instance.
 
@@ -67,6 +70,11 @@ def dec_offline(
         so a strip machine's load stays within capacity.
     require_regime:
         When true (default), reject ladders that are not BSHM-DEC.
+    engine:
+        ``"auto"`` (default) peels columnar above the PR-7 dispatch
+        threshold and stays on the object path below; ``"object"`` /
+        ``"columnar"`` force one engine.  Both produce byte-identical
+        schedules (pinned by the parity suite).
     """
     if strip_divisor < 2.0:
         raise ValueError("strip_divisor below 2 would overload strip machines")
@@ -77,6 +85,10 @@ def dec_offline(
         )
     if not jobs.empty and not ladder.fits(jobs.max_size):
         raise ValueError("an instance job exceeds the largest machine capacity")
+    if resolve_engine(engine, len(jobs), placement_order) == "columnar":
+        return dec_offline_columnar(
+            jobs, ladder, budget_factor=budget_factor, strip_divisor=strip_divisor
+        )
 
     assignment: dict[Job, MachineKey] = {}
     remaining = jobs
@@ -120,6 +132,9 @@ def dec_offline(
                 tag_prefix=("it", ladder.m),
                 strip_divisor=strip_divisor,
                 placement_order=placement_order,
+                # this run already resolved to the object engine; keep the
+                # oracle pure instead of re-dispatching on the subset size
+                engine="object",
             )
         )
     return Schedule(ladder, assignment)

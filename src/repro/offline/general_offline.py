@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import math
 
+from ..core.tolerance import TOLERANCE
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from ..placement.greedy import place_jobs
 from ..placement.strips import split_into_strips, two_color
 from ..schedule.schedule import MachineKey, Schedule
+from .columnar_peel import general_offline_columnar, resolve_engine
 from .dual_coloring import dual_coloring_assign
 
 __all__ = ["general_offline", "node_strip_budget"]
@@ -38,13 +40,19 @@ __all__ = ["general_offline", "node_strip_budget"]
 def node_strip_budget(ladder: Ladder, node: int, parent: int, siblings: int) -> int:
     """``ceil((1 / sqrt(|C(k)|)) * r_k / r_j)`` strips for a non-root node."""
     ratio = ladder.rate(parent) / ladder.rate(node)
-    return max(1, math.ceil(ratio / math.sqrt(siblings) - 1e-9))
+    return max(1, math.ceil(ratio / math.sqrt(siblings) - TOLERANCE))
 
 
-def general_offline(jobs: JobSet, ladder: Ladder) -> Schedule:
-    """Run GEN-OFFLINE on an instance over an arbitrary ladder."""
+def general_offline(jobs: JobSet, ladder: Ladder, *, engine: str = "auto") -> Schedule:
+    """Run GEN-OFFLINE on an instance over an arbitrary ladder.
+
+    ``engine`` selects the object or columnar forest traversal (``"auto"``:
+    columnar above the PR-7 dispatch threshold; byte-identical schedules).
+    """
     if not jobs.empty and not ladder.fits(jobs.max_size):
         raise ValueError("an instance job exceeds the largest machine capacity")
+    if resolve_engine(engine, len(jobs)) == "columnar":
+        return general_offline_columnar(jobs, ladder)
 
     forest = ladder.forest()
     capacities = ladder.capacities
@@ -63,8 +71,11 @@ def general_offline(jobs: JobSet, ladder: Ladder) -> Schedule:
         parent = forest.parent[j]
         if parent is None:
             # tree root: schedule everything on type j, unbounded strips
+            # (engine pinned: this run already resolved to the object path)
             assignment.update(
-                dual_coloring_assign(eligible, g_j, j, tag_prefix=("node", j))
+                dual_coloring_assign(
+                    eligible, g_j, j, tag_prefix=("node", j), engine="object"
+                )
             )
             remaining = remaining.minus(eligible)
             continue

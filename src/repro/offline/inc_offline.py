@@ -15,19 +15,24 @@ from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey, Schedule
+from .columnar_peel import inc_offline_columnar, resolve_engine
 from .dual_coloring import dual_coloring_assign
 
 __all__ = ["inc_offline", "partitioned_assign"]
 
 
-def partitioned_assign(jobs: JobSet, ladder: Ladder) -> dict[Job, MachineKey]:
+def partitioned_assign(
+    jobs: JobSet, ladder: Ladder, engine: str = "auto"
+) -> dict[Job, MachineKey]:
     """Dual-Coloring each size class on its own machine type."""
     assignment: dict[Job, MachineKey] = {}
     for i, cls in enumerate(jobs.size_partition(ladder.capacities), start=1):
         if cls.empty:
             continue
         assignment.update(
-            dual_coloring_assign(cls, ladder.capacity(i), i, tag_prefix=("class", i))
+            dual_coloring_assign(
+                cls, ladder.capacity(i), i, tag_prefix=("class", i), engine=engine
+            )
         )
     return assignment
 
@@ -37,8 +42,14 @@ def inc_offline(
     ladder: Ladder,
     *,
     require_regime: bool = True,
+    engine: str = "auto",
 ) -> Schedule:
-    """Run INC-OFFLINE on an instance."""
+    """Run INC-OFFLINE on an instance.
+
+    ``engine`` selects the object or columnar partition-and-peel pipeline
+    (``"auto"``: columnar above the PR-7 dispatch threshold; the schedules
+    are byte-identical either way).
+    """
     if require_regime and not ladder.is_inc:
         raise ValueError(
             f"ladder regime is {ladder.regime.value}, not BSHM-INC; "
@@ -46,4 +57,8 @@ def inc_offline(
         )
     if not jobs.empty and not ladder.fits(jobs.max_size):
         raise ValueError("an instance job exceeds the largest machine capacity")
-    return Schedule(ladder, partitioned_assign(jobs, ladder))
+    if resolve_engine(engine, len(jobs)) == "columnar":
+        return inc_offline_columnar(jobs, ladder)
+    # this run resolved to the object engine: keep the oracle pure instead of
+    # re-dispatching per size class on the subset sizes
+    return Schedule(ladder, partitioned_assign(jobs, ladder, engine="object"))

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 
+from ..core.tolerance import SIZE_TOL
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
@@ -99,7 +100,7 @@ def uniform_track_schedule(
         raise ValueError("uniform_track_schedule requires uniform job sizes")
     common = next(iter(sizes))
     idx = type_index if type_index is not None else ladder.smallest_fitting(common * slots)
-    if ladder.capacity(idx) + 1e-9 < common * slots:
+    if ladder.capacity(idx) + SIZE_TOL < common * slots:
         raise ValueError(
             f"type {idx} (capacity {ladder.capacity(idx)}) cannot hold "
             f"{slots} jobs of size {common}"

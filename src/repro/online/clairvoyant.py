@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 
+from ..core.tolerance import FINE_TOL
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..core.events import EventKind, event_stream
@@ -83,7 +84,7 @@ class DurationClassScheduler(ClairvoyantScheduler):
             # first arrival pins the base; later shorter jobs get negative
             # classes, which is fine (classes are just dict keys)
             self._base = duration
-        return int(math.floor(math.log2(duration / self._base) + 1e-12))
+        return int(math.floor(math.log2(duration / self._base) + FINE_TOL))
 
     def on_arrival(self, job: Job) -> MachineKey:
         size_class = job.size_class(self.ladder.capacities)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 
+from ..core.tolerance import FINE_TOL, TOLERANCE
 from ..machines.fleet import FleetState, IndexedPool
 from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey
@@ -45,7 +46,7 @@ def group_budget(rate_ratio: float, factor: float = 4.0) -> int:
     """
     if rate_ratio <= 1:
         raise ValueError("rate ratio must exceed 1 between consecutive types")
-    return max(1, math.ceil(factor * (rate_ratio - 1.0) - 1e-9))
+    return max(1, math.ceil(factor * (rate_ratio - 1.0) - TOLERANCE))
 
 
 class DecOnlineScheduler:
@@ -110,7 +111,7 @@ class DecOnlineScheduler:
     # -- internals ---------------------------------------------------------
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):
-            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+            if size <= self.ladder.capacity(i) * (1 + FINE_TOL):
                 return i
         raise ValueError(f"size {size} exceeds the largest capacity")
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 
+from ..core.tolerance import FINE_TOL, TOLERANCE
 from ..machines.fleet import FleetState, IndexedPool
 from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey
@@ -36,7 +37,7 @@ __all__ = ["GeneralOnlineScheduler", "node_group_budget"]
 def node_group_budget(ladder: Ladder, node: int, parent: int, siblings: int) -> int:
     """``2 * ceil(r_k / (r_j * sqrt(|C(k)|)))`` for a non-root node."""
     ratio = ladder.rate(parent) / ladder.rate(node)
-    return max(1, 2 * math.ceil(ratio / math.sqrt(siblings) - 1e-9))
+    return max(1, 2 * math.ceil(ratio / math.sqrt(siblings) - TOLERANCE))
 
 
 class GeneralOnlineScheduler:
@@ -96,6 +97,6 @@ class GeneralOnlineScheduler:
 
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):
-            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+            if size <= self.ladder.capacity(i) * (1 + FINE_TOL):
                 return i
         raise ValueError(f"size {size} exceeds the largest capacity")

@@ -8,6 +8,7 @@ the [14] First-Fit analysis contributes the ``μ + 3`` factor per class.
 
 from __future__ import annotations
 
+from ..core.tolerance import FINE_TOL
 from ..machines.fleet import FleetState, IndexedPool
 from ..machines.ladder import Ladder
 from ..schedule.schedule import MachineKey
@@ -47,6 +48,6 @@ class IncOnlineScheduler:
 
     def _size_class(self, size: float) -> int:
         for i in range(1, self.ladder.m + 1):
-            if size <= self.ladder.capacity(i) * (1 + 1e-12):
+            if size <= self.ladder.capacity(i) * (1 + FINE_TOL):
                 return i
         raise ValueError(f"size {size} exceeds the largest capacity")

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from ..core.tolerance import FINE_TOL
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from ..machines.ladder import Ladder
@@ -49,7 +50,7 @@ def windowed_schedule(
         raise ValueError("window must be positive")
     batches: dict[int, list[Job]] = {}
     for job in jobs:
-        batches.setdefault(int(math.floor(job.arrival / window + 1e-12)), []).append(job)
+        batches.setdefault(int(math.floor(job.arrival / window + FINE_TOL)), []).append(job)
 
     assignment: dict[Job, MachineKey] = {}
     for k in sorted(batches):

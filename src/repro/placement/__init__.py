@@ -1,11 +1,21 @@
 """Section V placement: demand charts, greedy dual placement, strips.
 
 Public surface: the :class:`DemandChart` / :class:`Band` /
-:class:`Placement` geometry, the greedy altitude placer and the
-strip-splitting / two-coloring machinery behind the forest construction.
+:class:`Placement` geometry, the greedy altitude placer, the
+strip-splitting / two-coloring machinery behind the forest construction,
+and the array-native columnar twins of all of the above
+(:mod:`repro.placement.columnar`).
 """
 
 from .chart import Band, DemandChart, Placement
+from .columnar import (
+    columnar_altitudes,
+    columnar_overflow_mask,
+    columnar_placement,
+    columnar_strip_slices,
+    columnar_strip_tops,
+    columnar_two_color,
+)
 from .greedy import GreedyDualPlacer, place_jobs
 from .strips import StripAssignment, split_into_strips, two_color
 
@@ -18,4 +28,10 @@ __all__ = [
     "StripAssignment",
     "split_into_strips",
     "two_color",
+    "columnar_altitudes",
+    "columnar_overflow_mask",
+    "columnar_placement",
+    "columnar_strip_slices",
+    "columnar_strip_tops",
+    "columnar_two_color",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.intervals import Interval
 from ..core.stepfun import StepFunction
+from ..core.tolerance import TOLERANCE
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 
@@ -161,7 +162,7 @@ class Placement:
         out = []
         for band in self.bands:
             limit = self.chart.min_height_on(band.interval)
-            if band.top > limit + 1e-9:
+            if band.top > limit + TOLERANCE:
                 out.append((band, band.top - limit))
         return out
 

@@ -1,0 +1,274 @@
+"""Columnar (array-native) twin of the greedy dual-placement pipeline.
+
+The object path walks Python ``Band``/``Job`` instances one attribute access
+at a time: :class:`~repro.placement.greedy.GreedyDualPlacer` intersects
+coexisting band pairs, :func:`~repro.placement.strips.split_into_strips`
+re-derives strip indices per band, and :func:`~repro.placement.strips.
+two_color` rebuilds an active list per boundary.  This module re-expresses
+every stage directly on the ``JobSet.to_arrays()`` columns:
+
+- **altitude assignment** (:func:`columnar_altitudes`) — per arrival, the
+  forbidden altitudes are exactly the depth >= 2 region of ONE
+  event-sorted sweep over the currently active bands' ``[altitude, top)``
+  ranges.  This equals the object path's union of pairwise intersections
+  because every pair of active bands coexists at the arriving job's instant
+  (arrival order + departure pruning), so no temporal qualification is left
+  to check.  The event queue is kept **incrementally sorted** (bisect
+  insertion/removal, two events per band), so each arrival costs one O(k)
+  scalar depth scan instead of an O(k log k) rebuild — and no per-arrival
+  numpy dispatch overhead, which is what dominates at realistic
+  concurrency.  The final gap scan replicates ``_lowest_gap``
+  float-for-float.
+- **strip slicing** (:func:`columnar_strip_slices`) — the inside/crossing
+  classification and lowest-crossed-boundary charge as whole-column integer
+  arithmetic, bit-compatible with ``_strip_index`` /
+  ``_lowest_crossed_boundary``.
+- **two-coloring** (:func:`columnar_two_color`) — the greedy boundary
+  2-coloring reduced to two scalar last-departure registers.
+- **containment limits** (:func:`columnar_overflow_mask`) — the chart
+  containment check as a vectorized range-minimum query over the demand
+  profile, replicating :meth:`StepFunction.min_on` exactly.
+
+Everything is bit-identical to the object path by construction — the parity
+is pinned by ``tests/property/test_columnar_parity.py`` (three-way:
+columnar <-> object <-> golden) and the object implementations stay in the
+tree as the differential oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from ..core.stepfun import StepFunction
+from ..core.tolerance import FINE_TOL, TOLERANCE
+from ..jobs.jobset import JobSet
+from .chart import Band, DemandChart, Placement
+
+__all__ = [
+    "columnar_altitudes",
+    "columnar_overflow_mask",
+    "columnar_placement",
+    "columnar_strip_slices",
+    "columnar_strip_tops",
+    "columnar_two_color",
+]
+
+
+def columnar_altitudes(
+    starts: np.ndarray, ends: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Greedy dual-placement altitudes for jobs in canonical (arrival, uid)
+    order, one event-sorted altitude sweep per arrival.
+
+    Bit-identical to feeding the jobs through
+    :class:`~repro.placement.greedy.GreedyDualPlacer` in arrival order: the
+    altitude only depends on the <= 2-overlap geometry of the active bands,
+    never on the demand profile (the containment limit decides *overflow
+    bookkeeping*, not the chosen altitude — see
+    :func:`columnar_overflow_mask`).
+    """
+    n = int(np.asarray(starts).size)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+
+    dep_order = np.argsort(ends, kind="stable")
+    dep_seq = dep_order.tolist()
+    dep_ends = np.asarray(ends, dtype=np.float64)[dep_order].tolist()
+    arr_l = np.asarray(starts, dtype=np.float64).tolist()
+    size_l = np.asarray(sizes, dtype=np.float64).tolist()
+
+    alt_l = [0.0] * n
+    # sorted (coord, kind) events of the active bands: kind 0 closes a range
+    # at its top, kind 1 opens one at its altitude.  Tuple order puts the
+    # close before the open at equal coordinates (half-open ranges), which
+    # is exactly the stable tops-first sweep ordering.
+    events: list[tuple[float, int]] = []
+    count = 0
+    p = 0  # cursor into the departure-sorted sequence
+
+    for j in range(n):
+        arrival = arr_l[j]
+        # retire bands with departure <= arrival (the bisect pruning twin);
+        # only already-placed jobs can qualify because arrival < departure
+        while p < n and dep_ends[p] <= arrival:
+            victim = dep_seq[p]
+            p += 1
+            v_alt = alt_l[victim]
+            # recomputed top is the same float the insertion used
+            del events[bisect_left(events, (v_alt + size_l[victim], 0))]
+            del events[bisect_left(events, (v_alt, 1))]
+            count -= 1
+
+        size = size_l[j]
+        candidate = 0.0
+        if count >= 2:
+            # depth >= 2 of the active altitude ranges == the forbidden set,
+            # normalized exactly like IntervalSet: drop empty spans, merge
+            # touching ones, then replay the _lowest_gap scan
+            depth = 0
+            lo = 0.0
+            spans: list[list[float]] = []
+            for coord, kind in events:
+                if kind:
+                    depth += 1
+                    if depth == 2:
+                        lo = coord
+                elif depth == 2:
+                    depth = 1
+                    if coord > lo:
+                        if spans and lo <= spans[-1][1]:
+                            if coord > spans[-1][1]:
+                                spans[-1][1] = coord
+                        else:
+                            spans.append([lo, coord])
+                else:
+                    depth -= 1
+            for lo, hi in spans:
+                if lo - candidate >= size - FINE_TOL:
+                    break  # gap [candidate, lo) is big enough
+                if hi > candidate:
+                    candidate = hi
+
+        alt_l[j] = candidate
+        insort(events, (candidate, 1))
+        insort(events, (candidate + size, 0))
+        count += 1
+    return np.array(alt_l, dtype=np.float64)
+
+
+def _range_min(values: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """``values[lo[i]:hi[i]].min()`` for every query, via a sparse table.
+
+    Exact (min is order-independent), O(L log L) build + O(1) per query.
+    Requires ``hi > lo`` elementwise and indices within ``values``.
+    """
+    size = int(values.size)
+    table = [values]
+    j = 1
+    while (1 << j) <= size:
+        prev = table[-1]
+        half = 1 << (j - 1)
+        table.append(np.minimum(prev[: size - (1 << j) + 1], prev[half:]))
+        j += 1
+    lengths = hi - lo
+    ks = np.floor(np.log2(lengths)).astype(np.int64)
+    out = np.empty(lengths.size, dtype=np.float64)
+    for level in range(len(table)):
+        m = ks == level
+        if not m.any():
+            continue
+        span = 1 << level
+        out[m] = np.minimum(table[level][lo[m]], table[level][hi[m] - span])
+    return out
+
+
+def columnar_overflow_mask(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    sizes: np.ndarray,
+    altitudes: np.ndarray,
+    profile: StepFunction,
+) -> np.ndarray:
+    """Which bands the object path records as containment overflow.
+
+    Replicates ``band.top > chart.min_height_on(I(J)) + TOLERANCE`` with the
+    same :meth:`StepFunction.min_on` semantics — intervals escaping the
+    profile's support count as limit 0 — but answers every job with one
+    vectorized range-minimum query instead of a per-job segment scan.
+    """
+    n = int(np.asarray(starts).size)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    breaks = profile.breaks
+    values = profile.values
+    outside = (starts < breaks[0]) | (ends > breaks[-1])
+    limits = np.zeros(n, dtype=np.float64)
+    ins = ~outside
+    if ins.any():
+        lo = np.searchsorted(breaks, starts[ins], side="right") - 1
+        hi = np.searchsorted(breaks, ends[ins], side="left")
+        limits[ins] = _range_min(values, lo, hi)
+    return (altitudes + sizes) > (limits + TOLERANCE)
+
+
+def columnar_strip_slices(
+    altitudes: np.ndarray, tops: np.ndarray, height: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classify every band as inside-strip or boundary-crossing, columnar.
+
+    Returns ``(strip_index, boundary)``: ``strip_index[i]`` is the 0-based
+    strip of band ``i`` (meaningful when ``boundary[i] == 0``), and
+    ``boundary[i]`` is the 1-based lowest crossed boundary (0 means the band
+    sits fully inside its strip).  Bit-compatible with ``_strip_index`` and
+    ``_lowest_crossed_boundary`` for the nonnegative altitudes the greedy
+    placer produces.
+    """
+    h = float(height)
+    if h <= 0:
+        raise ValueError("strip height must be positive")
+    base = np.floor(altitudes / h + TOLERANCE).astype(np.int64)
+    strip_index = np.maximum(base, 0)
+    slack = TOLERANCE * max(1.0, h)
+    # skip boundaries the band merely starts on, exactly like the scalar code
+    bump = (base + 1) * h <= altitudes + slack
+    k = np.where(bump, base + 2, base + 1)
+    crossing = k * h < tops - slack
+    boundary = np.where(crossing, k, 0)
+    return strip_index, boundary
+
+
+def columnar_strip_tops(tops: np.ndarray, height: float) -> np.ndarray:
+    """1 + index of the highest strip each band touches (vector
+    :func:`~repro.placement.strips.band_strip_top`)."""
+    h = float(height)
+    if h <= 0:
+        raise ValueError("strip height must be positive")
+    return np.maximum(1, np.ceil(tops / h - TOLERANCE).astype(np.int64))
+
+
+def columnar_two_color(
+    arrivals: list[float], departures: list[float]
+) -> list[int]:
+    """Greedy boundary 2-coloring over jobs in canonical (arrival, uid) order.
+
+    The object :func:`~repro.placement.strips.two_color` keeps an active
+    list pruned by departure; since each color can hold at most one live
+    interval, two last-departure registers carry the whole state.  Color 0
+    is preferred when both are free, matching ``free[0]``.
+    """
+    colors: list[int] = []
+    end0 = end1 = -math.inf
+    for arrival, departure in zip(arrivals, departures):
+        if end0 <= arrival:
+            colors.append(0)
+            end0 = departure
+        elif end1 <= arrival:
+            colors.append(1)
+            end1 = departure
+        else:
+            raise AssertionError(
+                "more than two concurrent boundary-crossing jobs: "
+                "the 2-overlap invariant was violated upstream"
+            )
+    return colors
+
+
+def columnar_placement(jobs: JobSet) -> Placement:
+    """Materialize a full :class:`Placement` from the columnar placer.
+
+    Diagnostic adapter: the strip-peeling engines never build ``Band``
+    objects; this exists so parity suites and notebooks can compare a whole
+    columnar placement against :func:`~repro.placement.greedy.place_jobs`.
+    """
+    arrays = jobs.to_arrays()
+    alts = columnar_altitudes(arrays.starts, arrays.ends, arrays.sizes)
+    chart = DemandChart(jobs)
+    overflow = columnar_overflow_mask(
+        arrays.starts, arrays.ends, arrays.sizes, alts, chart.height
+    )
+    bands = [Band(job, alt) for job, alt in zip(jobs, alts.tolist())]
+    overflowed = [job for job, over in zip(jobs, overflow.tolist()) if over]
+    return Placement(chart, bands, overflowed)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 
 from ..core.intervals import IntervalSet
+from ..core.tolerance import FINE_TOL, TOLERANCE
 from ..jobs.job import Job
 from ..jobs.jobset import JobSet
 from .chart import Band, DemandChart, Placement
@@ -160,12 +161,11 @@ def _lowest_gap(forbidden: IntervalSet, size: float, limit: float | None) -> flo
     """Lowest altitude ``a >= 0`` with ``[a, a + size)`` disjoint from the
     forbidden set and, when ``limit`` is given, ``a + size <= limit``."""
     candidate = 0.0
-    eps = 1e-12
     for iv in forbidden:
-        if iv.left - candidate >= size - eps:
+        if iv.left - candidate >= size - FINE_TOL:
             break  # gap [candidate, iv.left) is big enough
         candidate = max(candidate, iv.right)
-    if limit is not None and candidate + size > limit + 1e-9:
+    if limit is not None and candidate + size > limit + TOLERANCE:
         return None
     return candidate
 

@@ -19,12 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.tolerance import TOLERANCE
 from ..jobs.job import Job
 from .chart import Band, Placement
 
 __all__ = ["StripAssignment", "split_into_strips", "two_color"]
-
-_EPS = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,22 +34,18 @@ class StripAssignment:
     indices: strip ``k`` spans altitudes ``[k*h, (k+1)*h)``).
     ``crossing[k]`` lists the bands whose lowest crossed boundary is
     ``k`` (1-based boundary indices: boundary ``k`` sits at altitude ``k*h``).
+    ``num_strips`` is the strip count needed to contain every band, computed
+    once at construction (callers like E8 poll it in a loop).
     """
 
     height: float
     inside: dict[int, list[Band]]
     crossing: dict[int, list[Band]]
+    num_strips: int
 
     def strips_used(self) -> int:
         """Number of strips needed to contain every band."""
-        top = 0
-        for bands in self.inside.values():
-            for band in bands:
-                top = max(top, band_strip_top(band, self.height))
-        for bands in self.crossing.values():
-            for band in bands:
-                top = max(top, band_strip_top(band, self.height))
-        return top
+        return self.num_strips
 
     def bands_touching_bottom(self, num_strips: int) -> tuple[list[tuple[int, Band]], list[tuple[int, Band]]]:
         """Bands intersecting the bottom ``num_strips`` strips.
@@ -80,7 +75,7 @@ def band_strip_top(band: Band, h: float) -> int:
     """1 + index of the highest strip the band touches."""
     import math
 
-    return max(1, int(math.ceil(band.top / h - _EPS)))
+    return max(1, int(math.ceil(band.top / h - TOLERANCE)))
 
 
 def split_into_strips(placement: Placement, height: float) -> StripAssignment:
@@ -89,6 +84,7 @@ def split_into_strips(placement: Placement, height: float) -> StripAssignment:
         raise ValueError("strip height must be positive")
     inside: dict[int, list[Band]] = {}
     crossing: dict[int, list[Band]] = {}
+    num_strips = 0
     for band in placement.bands:
         k_low = _strip_index(band.altitude, height)
         lowest_boundary = _lowest_crossed_boundary(band, height)
@@ -96,12 +92,17 @@ def split_into_strips(placement: Placement, height: float) -> StripAssignment:
             inside.setdefault(k_low, []).append(band)
         else:
             crossing.setdefault(lowest_boundary, []).append(band)
-    return StripAssignment(height=height, inside=inside, crossing=crossing)
+        top = band_strip_top(band, height)
+        if top > num_strips:
+            num_strips = top
+    return StripAssignment(
+        height=height, inside=inside, crossing=crossing, num_strips=num_strips
+    )
 
 
 def _strip_index(altitude: float, h: float) -> int:
     """0-based index of the strip containing the altitude (with float slack)."""
-    k = int(altitude / h + _EPS)
+    k = int(altitude / h + TOLERANCE)
     return max(k, 0)
 
 
@@ -110,13 +111,13 @@ def _lowest_crossed_boundary(band: Band, h: float) -> int | None:
     is strictly inside the band)."""
     import math
 
-    k = int(math.floor(band.altitude / h + _EPS)) + 1
+    k = int(math.floor(band.altitude / h + TOLERANCE)) + 1
     level = k * h
     # skip boundaries the band merely starts on
-    if level <= band.altitude + _EPS * max(1.0, h):
+    if level <= band.altitude + TOLERANCE * max(1.0, h):
         k += 1
         level = k * h
-    if level < band.top - _EPS * max(1.0, h):
+    if level < band.top - TOLERANCE * max(1.0, h):
         return k
     return None
 

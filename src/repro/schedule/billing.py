@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.tolerance import FINE_TOL
 from .schedule import Schedule
 
 __all__ = ["BillingModel", "FLUID", "billed_cost", "billing_overhead"]
@@ -48,7 +49,7 @@ class BillingModel:
             return 0.0
         billed = length
         if self.period > 0:
-            billed = math.ceil(length / self.period - 1e-12) * self.period
+            billed = math.ceil(length / self.period - FINE_TOL) * self.period
         return max(billed, self.minimum)
 
     def describe(self) -> str:

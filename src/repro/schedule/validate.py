@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..core.sweep import sweep_peak_load
 from ..core.timecmp import TIME_TOL
+from ..core.tolerance import TOLERANCE
 from ..jobs.jobset import JobSet
 from .schedule import Schedule
 
@@ -63,7 +64,7 @@ class FeasibilityReport:
         return "; ".join(parts)
 
 
-_CAP_TOL = 1e-9
+_CAP_TOL = TOLERANCE
 
 #: segments of measure <= this are float slivers, not real co-residency: a
 #: departure at (mathematical) time t and an arrival at the same t can land
@@ -98,7 +99,7 @@ def validate_schedule(schedule: Schedule, instance: JobSet) -> FeasibilityReport
             time_tol=_TIME_TOL,
         )
         # tolerance scales with capacity: float sums of many sizes
-        if peak > capacity * (1 + 1e-9) + _CAP_TOL:
+        if peak > capacity * (1 + TOLERANCE) + _CAP_TOL:
             report.overloaded.append((key, peak, capacity))
 
     report.ok = not (

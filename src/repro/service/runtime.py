@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from ..core.sweep import BusyIntervalCache
+from ..core.tolerance import FINE_TOL
 from ..jobs.job import Job
 from ..machines.ladder import Ladder
 from ..online.engine import JobView, OnlineScheduler
@@ -110,7 +111,7 @@ def make_scheduler(name: str, ladder: Ladder) -> OnlineScheduler:
 def size_fits_policy(view: JobView, runtime: "SchedulerRuntime") -> str | None:
     """Reject jobs larger than the biggest machine type."""
     g_max = runtime.ladder.capacity(runtime.ladder.m)
-    if view.size > g_max * (1 + 1e-12):
+    if view.size > g_max * (1 + FINE_TOL):
         return f"size {view.size:g} exceeds largest capacity {g_max:g}"
     return None
 

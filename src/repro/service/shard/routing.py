@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ...core.tolerance import FINE_TOL
+
 __all__ = ["shard_for_submit", "shard_for_uid", "size_class"]
 
 
@@ -50,7 +52,7 @@ def size_class(size: float, capacities: Sequence[float]) -> int | None:
     if not math.isfinite(s) or s <= 0:
         return None
     for i, cap in enumerate(capacities, start=1):
-        if s <= cap * (1 + 1e-12):
+        if s <= cap * (1 + FINE_TOL):
             return i
     return None
 

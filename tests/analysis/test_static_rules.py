@@ -481,12 +481,49 @@ class TestToleranceDrift:
         )
         assert ids(check(snippet, "service/foo.py")) == ["BSHM012"]
 
+    def test_additive_slack_fires(self):
+        snippet = "import math\ndef f(x):\n    return math.floor(x + 1e-12)\n"
+        assert ids(check(snippet, "placement/foo.py")) == ["BSHM012"]
+
+    def test_subtractive_slack_fires(self):
+        snippet = "import math\ndef f(r):\n    return math.ceil(r - 1e-9)\n"
+        assert ids(check(snippet, "offline/foo.py")) == ["BSHM012"]
+
+    def test_multiplicative_guard_fires_once(self):
+        # (1 + 1e-12) inside a comparison: the BinOp check flags the slack,
+        # the Compare check stays quiet (its operand is not a bare literal)
+        snippet = "def f(s, g):\n    return s <= g * (1 + 1e-12)\n"
+        assert ids(check(snippet, "online/foo.py")) == ["BSHM012"]
+
+    def test_tolerance_alias_assignment_fires(self):
+        assert ids(check("_EPS = 1e-9\n", "placement/foo.py")) == ["BSHM012"]
+        assert ids(check("_CAP_TOL = 1e-9\n", "schedule/foo.py")) == ["BSHM012"]
+        assert ids(check("MY_TOL: float = 1e-7\n", "core/foo.py")) == ["BSHM012"]
+
+    def test_non_tolerance_assignment_is_clean(self):
+        # a small literal under a non-tolerance name is a parameter, not drift
+        assert check("LEARNING_RATE = 1e-5\n", "core/foo.py") == []
+
+    def test_alias_of_named_constant_is_clean(self):
+        snippet = (
+            "from repro.core.tolerance import FINE_TOL\n"
+            "_REL_TOL = FINE_TOL\n"
+        )
+        assert check(snippet, "machines/foo.py") == []
+
     def test_named_constant_is_clean(self):
         snippet = (
             "from repro.core.tolerance import TOLERANCE\n"
             "def f(x):\n    return abs(x) < TOLERANCE\n"
         )
         assert check(snippet, "core/foo.py") == []
+
+    def test_named_constant_slack_is_clean(self):
+        snippet = (
+            "from repro.core.tolerance import FINE_TOL\n"
+            "def f(x):\n    return int(x + FINE_TOL)\n"
+        )
+        assert check(snippet, "placement/foo.py") == []
 
     def test_large_literal_is_clean(self):
         # 0.5 is a semantic threshold, not a noise floor

@@ -13,9 +13,10 @@ the last recorded digit on top of genuine float noise.
 Each experiment is replayed twice: once on the default dispatch (quick-scale
 instances sit below :data:`repro.DEFAULT_VEC_THRESHOLD`, so this is the sweep
 tier) and once under ``dispatch_threshold(0)``, which forces every batch
-entry point onto the vectorized kernels.  Both replays must land on the same
-recorded numbers — the two tiers are interchangeable implementations of one
-cost model, and the golden file pins them jointly.
+entry point onto the vectorized kernels *and* resolves the offline
+``engine="auto"`` dispatch to the columnar peel engines.  Both replays must
+land on the same recorded numbers — the tiers are interchangeable
+implementations of one cost model, and the golden file pins them jointly.
 """
 
 from __future__ import annotations
